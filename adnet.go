@@ -1,0 +1,189 @@
+// Package adnet is a Go implementation of "Distributed Computation and
+// Reconfiguration in Actively Dynamic Networks" (Michail, Skretas,
+// Spirakis; PODC 2020): a synchronous message-passing model in which
+// nodes actively activate and deactivate edges under the distance-2
+// rule, the paper's three (poly)logarithmic-time reconfiguration
+// algorithms — GraphToStar, GraphToWreath, GraphToThinWreath — the
+// baselines they are measured against, and the edge-complexity
+// accounting (total edge activations, maximum activated edges per
+// round, maximum activated degree) the paper introduces.
+//
+// Quick start:
+//
+//	g := adnet.Line(128)
+//	res, err := adnet.Run(adnet.GraphToStar, g)
+//	// res.FinalGraph() is a spanning star centered at the max UID,
+//	// res.Metrics holds the paper's cost measures.
+//
+// The typed sub-packages remain available for advanced use: the engine
+// (internal/sim), the temporal-graph ledger (internal/temporal) and
+// the experiment harness (internal/expt) used by cmd/adnet-bench.
+package adnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adnet/internal/baseline"
+	"adnet/internal/core"
+	"adnet/internal/expt"
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+	"adnet/internal/tasks"
+	"adnet/internal/temporal"
+)
+
+// Graph re-exports the static graph type used for initial networks.
+type Graph = graph.Graph
+
+// ID is a node identifier, doubling as its UID.
+type ID = graph.ID
+
+// Metrics re-exports the paper's cost measures.
+type Metrics = temporal.Metrics
+
+// Algorithm selects one of the implemented strategies.
+type Algorithm int
+
+// The implemented algorithms and baselines.
+const (
+	// GraphToStar is §3: O(log n) time, O(n log n) activations,
+	// spanning star (diameter 2), linear degree.
+	GraphToStar Algorithm = iota + 1
+	// GraphToWreath is §4: O(log² n) time, O(n log² n) activations,
+	// O(1) activated degree, spanning binary tree (depth log n).
+	GraphToWreath
+	// GraphToThinWreath is §5: polylog degree, shallower gadget.
+	GraphToThinWreath
+	// CliqueFormation is the trivial §1.2 strategy (Θ(n²) edges).
+	CliqueFormation
+	// Flooding never reconfigures: Θ(diameter) time, zero activations.
+	Flooding
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case GraphToStar:
+		return "GraphToStar"
+	case GraphToWreath:
+		return "GraphToWreath"
+	case GraphToThinWreath:
+		return "GraphToThinWreath"
+	case CliqueFormation:
+		return "CliqueFormation"
+	case Flooding:
+		return "Flooding"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Result is the outcome of Run.
+type Result struct {
+	// Algorithm that produced this result.
+	Algorithm Algorithm
+	// Rounds until every node halted.
+	Rounds int
+	// Metrics are the paper's edge-complexity measures.
+	Metrics Metrics
+	// Leader is the elected node (the maximum UID on success).
+	Leader ID
+	// LeaderElected reports whether exactly one leader emerged.
+	LeaderElected bool
+
+	res *sim.Result
+}
+
+// FinalGraph returns a copy of the final active network.
+func (r *Result) FinalGraph() *Graph { return r.res.History.CurrentClone() }
+
+// PerRound returns the per-round accounting (activations,
+// deactivations, live edges).
+func (r *Result) PerRound() []temporal.RoundStats { return r.res.History.PerRound() }
+
+// VerifyDepthTree checks the Depth-d Tree post-condition (§2.2) on the
+// final network.
+func (r *Result) VerifyDepthTree(maxDepth int) error {
+	return tasks.VerifyDepthTree(r.FinalGraph(), r.Leader, maxDepth)
+}
+
+// Option configures Run.
+type Option = sim.Option
+
+// WithMaxRounds caps the execution length.
+func WithMaxRounds(rounds int) Option { return sim.WithMaxRounds(rounds) }
+
+// WithConnectivityCheck makes Run fail if the active network ever
+// disconnects (the paper's algorithms never disconnect it).
+func WithConnectivityCheck() Option { return sim.WithConnectivityCheck() }
+
+// Run executes the algorithm on the initial network gs, which must be
+// connected. The initial graph is not modified.
+func Run(algo Algorithm, gs *Graph, opts ...Option) (*Result, error) {
+	var factory sim.Factory
+	n := gs.NumNodes()
+	var extra []Option
+	switch algo {
+	case GraphToStar:
+		factory = core.NewGraphToStarFactory()
+	case GraphToWreath:
+		factory = core.NewGraphToWreathFactory()
+		extra = append(extra, sim.WithMaxRounds(core.WreathMaxRounds(n, core.WreathBranching(n, false))))
+	case GraphToThinWreath:
+		factory = core.NewGraphToThinWreathFactory()
+		extra = append(extra, sim.WithMaxRounds(core.WreathMaxRounds(n, core.WreathBranching(n, true))))
+	case CliqueFormation:
+		factory = baseline.NewCliqueFactory()
+	case Flooding:
+		factory = baseline.NewFloodFactory()
+	default:
+		return nil, fmt.Errorf("adnet: unknown algorithm %v", algo)
+	}
+	res, err := sim.Run(gs, factory, append(extra, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	leader, ok := res.Leader()
+	return &Result{
+		Algorithm:     algo,
+		Rounds:        res.Rounds,
+		Metrics:       res.Metrics,
+		Leader:        leader,
+		LeaderElected: ok,
+		res:           res,
+	}, nil
+}
+
+// Generators, re-exported for convenience.
+
+// Line returns the spanning line on IDs 0..n-1 (the paper's worst
+// case).
+func Line(n int) *Graph { return graph.Line(n) }
+
+// Ring returns the increasing-order ring (the Theorem 6.4 lower-bound
+// instance).
+func Ring(n int) *Graph { return graph.IncreasingRing(n) }
+
+// RandomConnected returns a random connected graph with the given
+// number of extra (non-tree) edges.
+func RandomConnected(n, extra int, seed int64) *Graph {
+	return graph.RandomConnected(n, extra, rand.New(rand.NewSource(seed)))
+}
+
+// RandomBoundedDegree returns a connected graph with maximum degree at
+// most maxDeg (the GraphToWreath workload family).
+func RandomBoundedDegree(n, maxDeg, extra int, seed int64) (*Graph, error) {
+	return graph.RandomBoundedDegree(n, maxDeg, extra, rand.New(rand.NewSource(seed)))
+}
+
+// Tradeoff runs every algorithm (including the centralized Euler-tour
+// strategy) on a spanning line of n nodes and returns the rendered
+// §1.3 comparison table.
+func Tradeoff(n int) (string, error) {
+	t, err := expt.TradeoffTable(n)
+	if err != nil {
+		return "", err
+	}
+	return t.String(), nil
+}

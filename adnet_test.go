@@ -1,0 +1,122 @@
+package adnet
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+)
+
+func TestRunGraphToStarPublicAPI(t *testing.T) {
+	t.Parallel()
+	g := Line(100)
+	res, err := Run(GraphToStar, g, WithConnectivityCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LeaderElected || res.Leader != 99 {
+		t.Fatalf("leader = %d (%v), want 99", res.Leader, res.LeaderElected)
+	}
+	if err := res.VerifyDepthTree(1); err != nil {
+		t.Fatal(err)
+	}
+	if !res.FinalGraph().IsStarCentered(99) {
+		t.Fatal("final graph is not a spanning star")
+	}
+	if res.Metrics.MaxActivatedEdges > 200 {
+		t.Fatalf("activated edges %d > 2n", res.Metrics.MaxActivatedEdges)
+	}
+	if len(res.PerRound()) != res.Rounds {
+		t.Fatalf("per-round records %d != rounds %d", len(res.PerRound()), res.Rounds)
+	}
+}
+
+func TestRunGraphToWreathPublicAPI(t *testing.T) {
+	t.Parallel()
+	g, err := RandomBoundedDegree(80, 4, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(GraphToWreath, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LeaderElected {
+		t.Fatal("no leader")
+	}
+	if err := res.VerifyDepthTree(bits.Len(80) + 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunThinWreathPublicAPI(t *testing.T) {
+	t.Parallel()
+	res, err := Run(GraphToThinWreath, Ring(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LeaderElected || res.Leader != 47 {
+		t.Fatalf("leader = %d", res.Leader)
+	}
+}
+
+func TestBaselinesPublicAPI(t *testing.T) {
+	t.Parallel()
+	res, err := Run(CliqueFormation, Line(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.TotalActivations != 20*19/2-19 {
+		t.Fatalf("clique activations %d", res.Metrics.TotalActivations)
+	}
+	flood, err := Run(Flooding, Line(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flood.Metrics.TotalActivations != 0 {
+		t.Fatal("flooding activated edges")
+	}
+	if flood.Rounds <= res.Rounds {
+		t.Fatal("flooding should be slower than clique formation on a line")
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(Algorithm(99), Line(4)); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	t.Parallel()
+	for algo, want := range map[Algorithm]string{
+		GraphToStar: "GraphToStar", GraphToWreath: "GraphToWreath",
+		GraphToThinWreath: "GraphToThinWreath", CliqueFormation: "CliqueFormation",
+		Flooding: "Flooding", Algorithm(42): "Algorithm(42)",
+	} {
+		if algo.String() != want {
+			t.Errorf("%d.String() = %q, want %q", algo, algo.String(), want)
+		}
+	}
+}
+
+func TestTradeoffRenders(t *testing.T) {
+	t.Parallel()
+	out, err := Tradeoff(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"graph-to-star", "clique", "centralized-euler"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tradeoff table missing %q", want)
+		}
+	}
+}
+
+func TestRandomConnectedHelper(t *testing.T) {
+	t.Parallel()
+	g := RandomConnected(40, 20, 3)
+	if !g.IsConnected() || g.NumNodes() != 40 {
+		t.Fatal("bad random graph")
+	}
+}

@@ -1,0 +1,355 @@
+package adnet
+
+// The benchmark harness regenerates every table/figure-level claim of
+// the paper (experiment index E1–E13 in DESIGN.md). Each benchmark
+// reports the paper's cost measures via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the measured series next to wall-clock cost. Absolute times
+// are simulator times; the claims under test are the *shapes*: rounds
+// per log n, activations per n·log n, degree bounds, final depth, and
+// the distributed-vs-centralized separation of Theorem 6.4.
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+
+	"adnet/internal/baseline"
+	"adnet/internal/core"
+	"adnet/internal/expt"
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+	"adnet/internal/subroutine"
+)
+
+func lineParents(n int) map[graph.ID]graph.ID {
+	parents := make(map[graph.ID]graph.ID, n)
+	for i := 0; i < n-1; i++ {
+		parents[graph.ID(i)] = graph.ID(i + 1)
+	}
+	parents[graph.ID(n-1)] = graph.ID(n - 1)
+	return parents
+}
+
+// BenchmarkTreeToStar — E1 (Proposition 2.1).
+func BenchmarkTreeToStar(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var rounds, act int
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(graph.Line(n), subroutine.NewTreeToStarFactory(lineParents(n)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds, act = res.Rounds, res.Metrics.TotalActivations
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(rounds)/float64(bits.Len(uint(n))), "rounds/logn")
+			b.ReportMetric(float64(act), "activations")
+		})
+	}
+}
+
+// BenchmarkLineToCBT — E2 (Proposition 2.2).
+func BenchmarkLineToCBT(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			factory, err := subroutine.NewLineToTreeFactory(subroutine.LineToTreeOptions{
+				Branching: 2, Parents: lineParents(n),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last, deg int
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(graph.Line(n), factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last, deg = res.Metrics.LastActivityRound, res.Metrics.MaxActivatedDegree
+			}
+			b.ReportMetric(float64(last), "activityRounds")
+			b.ReportMetric(float64(deg), "maxActDegree")
+		})
+	}
+}
+
+// benchAlgo shares the E3/E4/E5 shape.
+func benchAlgo(b *testing.B, algo Algorithm, gen func(n int) *Graph, sizes []int) {
+	b.Helper()
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := gen(n)
+			var out *Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = Run(algo, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			ln := float64(bits.Len(uint(n)))
+			b.ReportMetric(float64(out.Rounds), "rounds")
+			b.ReportMetric(float64(out.Rounds)/ln, "rounds/logn")
+			b.ReportMetric(float64(out.Metrics.TotalActivations)/(float64(n)*ln), "act/nlogn")
+			b.ReportMetric(float64(out.Metrics.MaxActivatedDegree), "maxActDegree")
+		})
+	}
+}
+
+// BenchmarkGraphToStar — E3 (Theorem 3.8).
+func BenchmarkGraphToStar(b *testing.B) {
+	benchAlgo(b, GraphToStar, Line, []int{256, 1024, 4096})
+}
+
+// BenchmarkGraphToWreath — E4 (Theorem 4.2).
+func BenchmarkGraphToWreath(b *testing.B) {
+	gen := func(n int) *Graph {
+		g, err := RandomBoundedDegree(n, 4, n/2, int64(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	benchAlgo(b, GraphToWreath, gen, []int{128, 256, 512})
+}
+
+// BenchmarkGraphToThinWreath — E5 (Theorem 5.1).
+func BenchmarkGraphToThinWreath(b *testing.B) {
+	gen := func(n int) *Graph {
+		g, err := RandomBoundedDegree(n, 4, n/2, int64(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	// n <= ~450: the thin variant's validated envelope (DESIGN.md §3.3).
+	benchAlgo(b, GraphToThinWreath, gen, []int{128, 256, 384})
+}
+
+// BenchmarkLowerBoundTime — E6 (Lemma 6.1): rounds stay ≥ log2 n on
+// the spanning line for every algorithm.
+func BenchmarkLowerBoundTime(b *testing.B) {
+	for _, algo := range []Algorithm{GraphToStar, CliqueFormation} {
+		b.Run(algo.String(), func(b *testing.B) {
+			n := 1024
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := Run(algo, Line(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(bits.Len(uint(n))), "log2n_floor")
+		})
+	}
+}
+
+// BenchmarkCentralizedLine — E7 (Lemmas D.3/D.4): Θ(n) activations.
+func BenchmarkCentralizedLine(b *testing.B) {
+	for _, n := range []int{1024, 16384, 65536} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var act, rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := baseline.CutInHalfLine(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				act, rounds = res.Metrics.TotalActivations, res.Metrics.Rounds
+			}
+			b.ReportMetric(float64(act)/float64(n), "act/n")
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkCentralizedEuler — E8 (Theorem 6.3): Θ(n) activations on
+// arbitrary connected graphs.
+func BenchmarkCentralizedEuler(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := RandomConnected(n, n, int64(n))
+			var act, depth int
+			for i := 0; i < b.N; i++ {
+				res, err := baseline.EulerTourStrategy(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				act, depth = res.Metrics.TotalActivations, res.Depth
+			}
+			b.ReportMetric(float64(act)/float64(n), "act/n")
+			b.ReportMetric(float64(depth), "finalDepth")
+		})
+	}
+}
+
+// BenchmarkDistributedActivations — E9 (Theorem 6.4): the Ω(n log n)
+// vs Θ(n) separation on the increasing-order ring.
+func BenchmarkDistributedActivations(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := Ring(n)
+			var dist, cent int
+			for i := 0; i < b.N; i++ {
+				res, err := Run(GraphToStar, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := baseline.EulerTourStrategy(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dist, cent = res.Metrics.TotalActivations, c.Metrics.TotalActivations
+			}
+			b.ReportMetric(float64(dist)/float64(cent), "dist/cent")
+			b.ReportMetric(float64(dist)/(float64(n)*float64(bits.Len(uint(n)))), "distAct/nlogn")
+		})
+	}
+}
+
+// BenchmarkClique — E10 (§1.2): Θ(n²) edge complexity.
+func BenchmarkClique(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var act int
+			for i := 0; i < b.N; i++ {
+				res, err := Run(CliqueFormation, Line(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				act = res.Metrics.TotalActivations
+			}
+			b.ReportMetric(float64(act)/float64(n*n), "act/n2")
+		})
+	}
+}
+
+// BenchmarkFlooding — E11 (§1.2): Θ(diameter) time, zero activations.
+func BenchmarkFlooding(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Flooding, Line(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds)/float64(n), "rounds/n")
+		})
+	}
+}
+
+// BenchmarkCompose — E12 (§1.3): transform + disseminate vs flooding.
+func BenchmarkCompose(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				g := Line(n)
+				star, err := Run(GraphToStar, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dissem, err := Run(Flooding, star.FinalGraph())
+				if err != nil {
+					b.Fatal(err)
+				}
+				flood, err := Run(Flooding, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = float64(flood.Rounds) / float64(star.Rounds+dissem.Rounds)
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkPhases — E13 (Lemmas 3.6/3.7): GraphToStar phase count.
+func BenchmarkPhases(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := Run(GraphToStar, Line(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			phases := (rounds + 7) / 8
+			b.ReportMetric(float64(phases), "phases")
+			b.ReportMetric(float64(phases)/float64(bits.Len(uint(n))), "phases/logn")
+		})
+	}
+}
+
+// BenchmarkTradeoffTable regenerates the §1.3 headline comparison.
+func BenchmarkTradeoffTable(b *testing.B) {
+	var tab fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		t, err := expt.TradeoffTable(256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab = t
+	}
+	_ = tab
+}
+
+// BenchmarkWreathAdmissionAblation sweeps the ThinWreath matchmaker's
+// admission cap (DESIGN.md §3.3): tighter admission bounds per-phase
+// merge fan-in, trading rounds for smaller splice groups.
+func BenchmarkWreathAdmissionAblation(b *testing.B) {
+	n := 128
+	g, err := RandomBoundedDegree(n, 4, n/2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cap := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			var rounds, act int
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(g, core.NewWreathFactoryOpts(core.WreathOptions{AdmitCap: cap}),
+					sim.WithMaxRounds(core.WreathMaxRounds(n, 2)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds, act = res.Rounds, res.Metrics.TotalActivations
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(act), "activations")
+		})
+	}
+}
+
+// BenchmarkWreathBranchingAblation sweeps the gadget arity: the §5
+// lever. Wider trees are shallower (faster intra-committee
+// communication) at higher degree.
+func BenchmarkWreathBranchingAblation(b *testing.B) {
+	n := 128
+	g := Line(n)
+	for _, br := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("b=%d", br), func(b *testing.B) {
+			var depth, deg int
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(g, core.NewWreathFactoryOpts(core.WreathOptions{Branching: br}),
+					sim.WithMaxRounds(core.WreathMaxRounds(n, br)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				leader, _ := res.Leader()
+				depth = res.History.CurrentClone().Eccentricity(leader)
+				deg = res.Metrics.MaxActivatedDegree
+			}
+			b.ReportMetric(float64(depth), "finalDepth")
+			b.ReportMetric(float64(deg), "maxActDegree")
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Command adnet runs one reconfiguration algorithm on one generated
+// initial network and prints the paper's cost measures.
+//
+// Usage:
+//
+//	adnet -algo graph-to-star -graph line -n 1024
+//	adnet -algo graph-to-wreath -graph bounded-degree -n 256 -seed 7 -verify
+//	adnet -algo centralized-euler -graph random -n 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adnet/internal/expt"
+)
+
+func main() {
+	algo := flag.String("algo", expt.AlgoStar,
+		"algorithm: "+strings.Join(expt.Algorithms(), ", "))
+	workload := flag.String("graph", "line",
+		"initial network: line, ring, random-tree, bounded-degree, random, star")
+	n := flag.Int("n", 256, "number of nodes")
+	seed := flag.Int64("seed", 1, "workload seed")
+	verify := flag.Bool("verify", false, "fail unless a unique correct leader was elected")
+	flag.Parse()
+
+	g, err := expt.Workload(*workload, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := expt.RunAlgorithm(*algo, g)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("algorithm           %s\n", *algo)
+	fmt.Printf("initial network     %s n=%d (seed %d)\n", *workload, *n, *seed)
+	fmt.Printf("rounds              %d\n", out.Rounds)
+	fmt.Printf("last edge activity  round %d\n", out.LastActivity)
+	fmt.Printf("total activations   %d\n", out.TotalActivations)
+	fmt.Printf("max activated edges %d\n", out.MaxActivatedEdges)
+	fmt.Printf("max activated deg   %d\n", out.MaxActivatedDegree)
+	fmt.Printf("final diameter      %d\n", out.FinalDiameter)
+	fmt.Printf("final leader depth  %d\n", out.FinalDepth)
+	fmt.Printf("leader elected      %v\n", out.LeaderOK)
+	if *verify && !out.LeaderOK {
+		fatal(fmt.Errorf("verification failed: no unique correct leader"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adnet:", err)
+	os.Exit(1)
+}

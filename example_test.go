@@ -1,0 +1,36 @@
+package adnet_test
+
+import (
+	"fmt"
+
+	"adnet"
+)
+
+// ExampleRun demonstrates the paper's core task: transform a spanning
+// line into a diameter-2 network in O(log n) rounds, electing the
+// maximum UID on the way.
+func ExampleRun() {
+	g := adnet.Line(64)
+	res, err := adnet.Run(adnet.GraphToStar, g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("leader:", res.Leader)
+	fmt.Println("final diameter:", res.FinalGraph().Diameter())
+	fmt.Println("activated edges never exceeded 2n:", res.Metrics.MaxActivatedEdges <= 2*64)
+	// Output:
+	// leader: 63
+	// final diameter: 2
+	// activated edges never exceeded 2n: true
+}
+
+// ExampleTradeoff prints the paper's §1.3 comparison on one workload.
+func ExampleTradeoff() {
+	out, err := adnet.Tradeoff(32)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(out) > 0)
+	// Output:
+	// true
+}

@@ -1,0 +1,41 @@
+// Lower-bound mechanics (Lemma 6.1 / Definition D.1): watch the
+// potential PO(u_left, u_right) — the distance from the nearest holder
+// of the left endpoint's UID to the right endpoint — collapse as
+// GraphToStar reconfigures a spanning line. The potential can at best
+// halve per round, which is exactly why Ω(log n) rounds are
+// unavoidable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"adnet/internal/bounds"
+	"adnet/internal/core"
+	"adnet/internal/graph"
+)
+
+func main() {
+	const n = 128
+	series, res, err := bounds.PotentialSeries(graph.Line(n),
+		core.NewGraphToStarFactory(), 0, graph.ID(n-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PO(0, %d) per round on Line(%d), GraphToStar (%d rounds total):\n\n", n-1, n, res.Rounds)
+	for r, po := range series {
+		if po < 0 {
+			continue
+		}
+		bar := strings.Repeat("#", po/2)
+		if r%4 == 0 || po <= 2 {
+			fmt.Printf("round %3d  PO=%4d  %s\n", r, po, bar)
+		}
+		if po <= 2 {
+			break
+		}
+	}
+	fmt.Printf("\nmax per-round shrink factor: %.2f (the halving bound of Lemma 6.1)\n",
+		bounds.MinPotentialDropFactor(series))
+}

@@ -1,0 +1,27 @@
+// The paper's headline story (§1.3): every algorithm makes a different
+// contribution to the time vs edge-complexity tradeoff. This example
+// prints the full comparison on one workload — the same table the
+// benchmark harness regenerates as T1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adnet"
+)
+
+func main() {
+	out, err := adnet.Tradeoff(256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	fmt.Println("reading guide:")
+	fmt.Println("  clique          — time optimal, pays Θ(n²) edges (the impractical strategy)")
+	fmt.Println("  flood           — zero activations, pays Θ(n) rounds")
+	fmt.Println("  graph-to-star   — O(log n) rounds at O(n log n) activations, linear degree")
+	fmt.Println("  graph-to-wreath — bounded degree, one extra log factor in time")
+	fmt.Println("  thinwreath      — polylog degree, shallower gadget")
+	fmt.Println("  centralized     — the Θ(n)-activation optimum no distributed algorithm can match (Thm 6.4)")
+}

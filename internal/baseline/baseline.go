@@ -1,0 +1,232 @@
+// Package baseline implements the comparison points the paper
+// positions its algorithms against:
+//
+//   - the trivial clique-formation strategy of §1.2 (time optimal,
+//     edge-complexity maximal);
+//   - pure flooding over the static network (zero activations,
+//     Θ(diameter) time — the "don't reconfigure" end of the tradeoff);
+//   - the centralized strategies of §6/Appendix D: CutInHalf on a
+//     spanning line and the Euler-tour construction of Theorem 6.3,
+//     which achieve Θ(n) total activations — the separation the
+//     distributed Ω(n log n) lower bound (Theorem 6.4) is measured
+//     against.
+//
+// The centralized strategies manipulate the temporal graph directly
+// through temporal.History, so they obey exactly the same model rules
+// (distance-2 activation, per-round accounting) as the distributed
+// algorithms.
+package baseline
+
+import (
+	"fmt"
+
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+	"adnet/internal/temporal"
+)
+
+// CliqueMachine is the §1.2 strategy: every round, every node activates
+// edges to all of its potential neighbors (distance-2 nodes). A
+// spanning clique forms in ⌈log n⌉ rounds at a Θ(n²) edge cost. After
+// the clique forms, the maximum UID declares itself leader and all
+// nodes halt — one additional round, as the paper notes.
+type CliqueMachine struct {
+	known map[graph.ID]bool
+}
+
+var _ sim.Machine = (*CliqueMachine)(nil)
+
+// NewCliqueFactory returns the clique-formation factory.
+func NewCliqueFactory() sim.Factory {
+	return func(id graph.ID, _ sim.Env) sim.Machine {
+		return &CliqueMachine{known: map[graph.ID]bool{id: true}}
+	}
+}
+
+// Init implements sim.Machine.
+func (m *CliqueMachine) Init(*sim.Context) {}
+
+// Send implements sim.Machine.
+func (m *CliqueMachine) Send(ctx *sim.Context) {
+	ctx.Broadcast(ctx.Neighbors())
+}
+
+// Receive implements sim.Machine.
+func (m *CliqueMachine) Receive(ctx *sim.Context, inbox []sim.Message) {
+	self := ctx.ID()
+	for _, v := range ctx.Neighbors() {
+		m.known[v] = true
+	}
+	grew := false
+	for _, msg := range inbox {
+		for _, w := range msg.Payload.([]graph.ID) {
+			if w != self && !m.known[w] {
+				m.known[w] = true
+				ctx.Activate(w)
+				grew = true
+			}
+		}
+	}
+	if !grew && ctx.Degree() == ctx.N()-1 {
+		// Clique complete: elect max UID, one extra round of logic.
+		max := self
+		for v := range m.known {
+			if v > max {
+				max = v
+			}
+		}
+		if max == self {
+			ctx.SetStatus(sim.StatusLeader)
+		} else {
+			ctx.SetStatus(sim.StatusFollower)
+		}
+		ctx.Halt()
+	}
+}
+
+// FloodMachine floods all known UIDs over the static network without
+// activating any edge: Θ(diameter) rounds, zero edge complexity. It
+// demonstrates the other end of the tradeoff: without reconfiguration,
+// linear time on a line.
+type FloodMachine struct {
+	known   map[graph.ID]bool
+	lastNew int
+}
+
+var _ sim.Machine = (*FloodMachine)(nil)
+
+// NewFloodFactory returns the flooding factory. Nodes halt after the
+// token set has been stable for two rounds and they have seen n tokens.
+func NewFloodFactory() sim.Factory {
+	return func(id graph.ID, _ sim.Env) sim.Machine {
+		return &FloodMachine{known: map[graph.ID]bool{id: true}}
+	}
+}
+
+// Known returns the set of tokens gathered so far (read-only view for
+// verifiers).
+func (m *FloodMachine) Known() map[graph.ID]bool { return m.known }
+
+// Init implements sim.Machine.
+func (m *FloodMachine) Init(*sim.Context) {}
+
+// Send implements sim.Machine.
+func (m *FloodMachine) Send(ctx *sim.Context) {
+	tokens := make([]graph.ID, 0, len(m.known))
+	for v := range m.known {
+		tokens = append(tokens, v)
+	}
+	ctx.Broadcast(tokens)
+}
+
+// Receive implements sim.Machine.
+func (m *FloodMachine) Receive(ctx *sim.Context, inbox []sim.Message) {
+	for _, msg := range inbox {
+		for _, v := range msg.Payload.([]graph.ID) {
+			if !m.known[v] {
+				m.known[v] = true
+				m.lastNew = ctx.Round()
+			}
+		}
+	}
+	// Halt only after the token set has been quiet for two rounds: a
+	// node that still receives new tokens is still on some other
+	// node's dissemination path and must keep relaying.
+	if len(m.known) == ctx.N() && ctx.Round() >= m.lastNew+2 {
+		max := ctx.ID()
+		for v := range m.known {
+			if v > max {
+				max = v
+			}
+		}
+		if max == ctx.ID() {
+			ctx.SetStatus(sim.StatusLeader)
+		} else {
+			ctx.SetStatus(sim.StatusFollower)
+		}
+		ctx.Halt()
+	}
+}
+
+// CentralizedResult reports a centralized strategy's outcome.
+type CentralizedResult struct {
+	History *temporal.History
+	Metrics temporal.Metrics
+	Root    graph.ID
+	Depth   int
+}
+
+// CutInHalfLine is the Appendix D strategy on a spanning line
+// u_0 … u_{n-1}: in phase i it activates the edges u_j u_{j+2^i} for
+// j ≡ 0 (mod 2^i), giving Θ(n) total activations (Σ n/2^i) and ⌈log n⌉
+// rounds. The final graph contains a depth-⌈log n⌉ tree rooted at one
+// endpoint; non-tree edges are deactivated in one final round.
+func CutInHalfLine(n int) (*CentralizedResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: n=%d", n)
+	}
+	line := graph.Line(n)
+	order := make([]graph.ID, n)
+	for i := range order {
+		order[i] = graph.ID(i)
+	}
+	return cutInHalf(line, order, graph.ID(0))
+}
+
+// EulerTourStrategy is Theorem 6.3 / D.5: for any connected graph,
+// compute a spanning tree and its Euler tour (a virtual line of length
+// ≤ 2n-1 over physical nodes), then run CutInHalf along the tour.
+// Consecutive tour positions are tree-adjacent, so every shortcut obeys
+// the distance-2 rule; duplicate pairs are no-ops. Total activations
+// stay Θ(n) and the construction takes O(log n) rounds.
+func EulerTourStrategy(gs *graph.Graph) (*CentralizedResult, error) {
+	root := gs.MaxID()
+	tour, ok := gs.EulerTour(root)
+	if !ok {
+		return nil, fmt.Errorf("baseline: graph disconnected")
+	}
+	return cutInHalf(gs, tour, root)
+}
+
+// cutInHalf runs the doubling shortcuts over a node sequence whose
+// consecutive elements are adjacent in gs, then prunes to a BFS tree
+// from root.
+func cutInHalf(gs *graph.Graph, seq []graph.ID, root graph.ID) (*CentralizedResult, error) {
+	h := temporal.NewHistory(gs)
+	m := len(seq)
+	for step := 1; step < m; step *= 2 {
+		var acts []graph.Edge
+		for j := 0; j+step < m; j += step {
+			a, b := seq[j], seq[j+step]
+			if a != b && !h.Active(a, b) {
+				acts = append(acts, graph.NewEdge(a, b))
+			}
+		}
+		if len(acts) == 0 {
+			continue
+		}
+		if _, err := h.Apply(acts, nil); err != nil {
+			return nil, fmt.Errorf("baseline: cut-in-half round: %w", err)
+		}
+	}
+	// One final round: keep only a BFS tree from the root (edge
+	// deactivations are free of activation cost).
+	cur := h.CurrentClone()
+	parent, ok := cur.SpanningTree(root)
+	if !ok {
+		return nil, fmt.Errorf("baseline: shortcut graph disconnected")
+	}
+	var deacts []graph.Edge
+	for _, e := range cur.Edges() {
+		if parent[e.A] != e.B && parent[e.B] != e.A {
+			deacts = append(deacts, e)
+		}
+	}
+	if len(deacts) > 0 {
+		if _, err := h.Apply(nil, deacts); err != nil {
+			return nil, fmt.Errorf("baseline: prune round: %w", err)
+		}
+	}
+	depth := graph.TreeDepth(parent)
+	return &CentralizedResult{History: h, Metrics: h.Metrics(), Root: root, Depth: depth}, nil
+}

@@ -1,0 +1,165 @@
+// Package bounds instruments the paper's lower-bound machinery (§6,
+// Appendix D): the potential function PO_{u,v} of Definition D.1 and a
+// knowledge-propagation tracker, used to demonstrate empirically that
+//
+//   - Ω(log n) rounds are unavoidable on the spanning line (Lemma 6.1):
+//     the potential drops by at most a factor ~2 plus 1 per round;
+//   - O(log n)-time centralized strategies pay Ω(n) activations
+//     (Lemma 6.2);
+//   - distributed algorithms pay Ω(n log n) activations on the
+//     increasing-order ring (Theorem 6.4).
+package bounds
+
+import (
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+	"adnet/internal/temporal"
+)
+
+// KnowledgeTracker follows which UIDs each node can possibly have
+// learned, assuming maximally generous information flow: every message
+// transfers the sender's entire knowledge set. This upper-bounds any
+// real algorithm's knowledge, which is exactly what a lower-bound
+// argument needs.
+type KnowledgeTracker struct {
+	knows map[graph.ID]map[graph.ID]bool
+}
+
+// NewKnowledgeTracker initializes each node knowing only its own UID.
+func NewKnowledgeTracker(nodes []graph.ID) *KnowledgeTracker {
+	k := &KnowledgeTracker{knows: make(map[graph.ID]map[graph.ID]bool, len(nodes))}
+	for _, u := range nodes {
+		k.knows[u] = map[graph.ID]bool{u: true}
+	}
+	return k
+}
+
+// Hook returns a sim.WithRoundHook callback that advances the tracker
+// with every delivered message.
+func (k *KnowledgeTracker) Hook() func(sim.RoundEvent) {
+	return func(ev sim.RoundEvent) {
+		// Transfer snapshots: messages within one round carry the
+		// sender's knowledge from the round start.
+		type delta struct {
+			to   graph.ID
+			uids []graph.ID
+		}
+		var deltas []delta
+		for _, msg := range ev.Messages {
+			src := k.knows[msg.From]
+			uids := make([]graph.ID, 0, len(src))
+			for u := range src {
+				uids = append(uids, u)
+			}
+			deltas = append(deltas, delta{to: msg.To, uids: uids})
+		}
+		for _, d := range deltas {
+			dst := k.knows[d.to]
+			for _, u := range d.uids {
+				dst[u] = true
+			}
+		}
+	}
+}
+
+// Knows reports whether node w can possibly know UID u.
+func (k *KnowledgeTracker) Knows(w, u graph.ID) bool { return k.knows[w][u] }
+
+// Holders returns all nodes that can know UID u.
+func (k *KnowledgeTracker) Holders(u graph.ID) []graph.ID {
+	var out []graph.ID
+	for w, set := range k.knows {
+		if set[u] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Potential computes PO_{u,v} (Definition D.1) over the current
+// snapshot: the minimum distance from any node that knows UID u to
+// node v. It returns -1 if no holder can reach v.
+func Potential(h *temporal.History, k *KnowledgeTracker, u, v graph.ID) int {
+	cur := h.CurrentClone()
+	dist := cur.BFS(v)
+	best := -1
+	for _, w := range k.Holders(u) {
+		if d, ok := dist[w]; ok && (best < 0 || d < best) {
+			best = d
+		}
+	}
+	return best
+}
+
+// PotentialSeries runs the machine on gs while recording PO_{u,v}
+// after every round; it returns the series (index 0 = initial
+// potential) together with the run result. The series is reconstructed
+// post-run from the traced edge lists and the buffered message flow.
+func PotentialSeries(gs *graph.Graph, factory sim.Factory, u, v graph.ID,
+	opts ...sim.Option) ([]int, *sim.Result, error) {
+	var perRound [][]sim.Message
+	opts = append(opts,
+		sim.WithTrace(),
+		sim.WithRoundHook(func(ev sim.RoundEvent) {
+			msgs := make([]sim.Message, len(ev.Messages))
+			copy(msgs, ev.Messages)
+			perRound = append(perRound, msgs)
+		}))
+	res, err := sim.Run(gs, factory, opts...)
+	if err != nil {
+		return nil, res, err
+	}
+
+	tracker := NewKnowledgeTracker(gs.Nodes())
+	cur := gs.Clone()
+	series := []int{potentialOn(cur, tracker, u, v)}
+	for r := 1; r <= res.Rounds; r++ {
+		if r-1 < len(perRound) {
+			tracker.Hook()(sim.RoundEvent{Messages: perRound[r-1]})
+		}
+		act, deact, ok := res.History.TraceRound(r)
+		if ok {
+			for _, e := range act {
+				cur.MustAddEdge(e.A, e.B)
+			}
+			for _, e := range deact {
+				cur.RemoveEdge(e.A, e.B)
+			}
+		}
+		series = append(series, potentialOn(cur, tracker, u, v))
+	}
+	return series, res, nil
+}
+
+// potentialOn computes PO_{u,v} over an explicit snapshot.
+func potentialOn(cur *graph.Graph, k *KnowledgeTracker, u, v graph.ID) int {
+	dist := cur.BFS(v)
+	best := -1
+	for _, w := range k.Holders(u) {
+		if d, ok := dist[w]; ok && (best < 0 || d < best) {
+			best = d
+		}
+	}
+	return best
+}
+
+// MinPotentialDropFactor examines a potential series and returns the
+// largest per-round shrink factor observed, i.e. max over rounds of
+// PO(i) / PO(i+1) ignoring the additive-1 information step. A
+// factor bounded by ~2 across every round is the mechanism behind the
+// Ω(log n) time lower bound of Lemma 6.1: halving per round is the
+// best any strategy can do.
+func MinPotentialDropFactor(series []int) float64 {
+	worst := 1.0
+	for i := 0; i+1 < len(series); i++ {
+		cur, next := series[i], series[i+1]
+		if cur <= 0 || next <= 0 {
+			continue
+		}
+		f := float64(cur) / float64(next)
+		if f > worst {
+			worst = f
+		}
+	}
+	return worst
+}

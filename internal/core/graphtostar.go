@@ -1,0 +1,451 @@
+package core
+
+import (
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+)
+
+// GraphToStar message payloads. Each is exchanged at a fixed step of
+// the 8-round phase schedule (DESIGN.md §3.1).
+type (
+	// gtsReport is a member's phase report to its leader: the best
+	// selectable foreign committee seen over original edges, and
+	// whether any foreign committee is adjacent at all.
+	gtsReport struct {
+		HasBest    bool
+		BestLeader graph.ID // highest selectable foreign committee UID
+		Via        graph.ID // the foreign member it was seen through
+		AnyForeign bool
+	}
+	// gtsQuery asks a pulling target for its situation.
+	gtsQuery struct{}
+	// gtsReply answers a gtsQuery: either "I am a root, merge into me"
+	// or "follow my outgoing link / my leader".
+	gtsReply struct {
+		Root bool
+		Next graph.ID
+	}
+	// gtsLeaderLink announces a fresh leader-to-leader selection edge.
+	gtsLeaderLink struct{}
+	// gtsSelState answers a gtsLeaderLink: Paired means the target did
+	// not itself select, so the sender should merge; otherwise the
+	// sender enters pulling mode (§3, Selection).
+	gtsSelState struct{ Paired bool }
+	// gtsJoined registers the sender as a new follower of the receiver.
+	gtsJoined struct{}
+	// gtsNextMode is the leader's phase-end broadcast fixing the
+	// committee mode (and merge target) for the next phase.
+	gtsNextMode struct {
+		Mode   Mode
+		Target graph.ID
+	}
+)
+
+const gtsPhaseLen = 8
+
+// GraphToStar is the §3 algorithm: committees are stars; selection
+// links star centers; pairs merge in one phase and trees of committees
+// collapse through the pulling mode (TreeToStar on committees). It
+// solves Depth-1 Tree — the final network is a spanning star centered
+// at u_max, the elected leader — in O(log n) rounds with O(n log n)
+// total edge activations and at most 2n activated edges alive per
+// round (Theorem 3.8).
+type GraphToStar struct {
+	selfID graph.ID
+	role   Role
+	leader graph.ID
+	mode   Mode
+	// target is the node this committee acts toward: the merge target
+	// in merging mode, the currently queried node in pulling mode.
+	target    graph.ID
+	followers map[graph.ID]bool // leader only
+
+	// Phase scratch, reset at every phase start.
+	foreign     map[graph.ID]Announce // orig neighbor -> its announcement
+	reports     []gtsReport
+	queriers    []graph.ID // pulling committees that queried us
+	linkers     []graph.ID // leaders that linked to us this phase
+	selecting   bool
+	selTarget   graph.ID // leader of the selected committee
+	hop1        graph.ID // border member used as the first hop
+	hop1Temp    bool     // hop1 edge was activated and must be dropped
+	gotLink     bool     // received a leader link this phase
+	repliedRoot bool     // answered a pulling query with Root
+	paired      bool
+	replySeen   bool
+	noForeign   bool
+
+	// Pulling scratch: the query reply and the hop it induced.
+	replyRootSeen   bool
+	replyFollowSeen bool
+	replyNext       graph.ID
+	hopped          bool
+	prevTarget      graph.ID
+
+	// execMerge is true during the phase that actually executes this
+	// committee's merge (mode was already Merging at phase start), as
+	// opposed to the phase in which the merge was merely scheduled by
+	// a pairing reply or a pulling Root reply.
+	execMerge bool
+}
+
+var _ sim.Machine = (*GraphToStar)(nil)
+
+// NewGraphToStarFactory returns the machine factory for the §3
+// algorithm.
+func NewGraphToStarFactory() sim.Factory {
+	return func(id graph.ID, _ sim.Env) sim.Machine {
+		return &GraphToStar{
+			selfID:    id,
+			role:      RoleLeader,
+			leader:    id,
+			mode:      ModeSelection,
+			followers: make(map[graph.ID]bool),
+			foreign:   make(map[graph.ID]Announce),
+		}
+	}
+}
+
+// Leader returns the node's current committee leader (itself if it is
+// a leader). Exposed for tests and invariant checks.
+func (m *GraphToStar) Leader() graph.ID { return m.leader }
+
+// Role returns the node's current role.
+func (m *GraphToStar) Role() Role { return m.role }
+
+// CommitteeMode returns the node's view of its committee's mode.
+func (m *GraphToStar) CommitteeMode() Mode { return m.mode }
+
+func phaseStep(round int) int { return (round - 1) % gtsPhaseLen }
+
+// Init implements sim.Machine.
+func (m *GraphToStar) Init(*sim.Context) {}
+
+// Send implements sim.Machine.
+func (m *GraphToStar) Send(ctx *sim.Context) {
+	switch phaseStep(ctx.Round()) {
+	case 0: // ANNOUNCE over original edges
+		if m.mode == ModeTermination {
+			return // this phase tears down and halts instead
+		}
+		ann := Announce{Leader: m.leader, Mode: m.mode}
+		for _, v := range ctx.OrigNeighbors() {
+			ctx.Send(v, ann)
+		}
+	case 1: // REPORT to leader
+		if m.role == RoleFollower {
+			ctx.Send(m.leader, m.makeReport())
+		} else {
+			m.reports = append(m.reports, m.makeReport())
+		}
+	case 2: // pulling leaders query their target
+		if m.role == RoleLeader && m.mode == ModePulling {
+			ctx.Send(m.target, gtsQuery{})
+		}
+	case 3: // query replies; merging members register with the winner
+		for _, q := range m.queriers {
+			ctx.Send(q, m.makeReply())
+		}
+		m.queriers = nil
+		if m.mode == ModeMerging {
+			// Both the dying leader (over its leader link) and its
+			// followers (over the star edges activated at step 2)
+			// register as followers of the winner.
+			ctx.Send(m.target, gtsJoined{})
+		}
+	case 4: // fresh selection links announce themselves
+		if m.role == RoleLeader && m.selecting {
+			ctx.Send(m.selTarget, gtsLeaderLink{})
+		}
+	case 5: // link replies
+		for _, l := range m.linkers {
+			ctx.Send(l, gtsSelState{Paired: m.isPairable()})
+		}
+	case 7: // NEXTMODE broadcast to followers
+		if m.role == RoleLeader {
+			m.decideNextMode()
+			nm := gtsNextMode{Mode: m.mode, Target: m.target}
+			for f := range m.followers {
+				ctx.Send(f, nm)
+			}
+		}
+	}
+}
+
+// Receive implements sim.Machine.
+func (m *GraphToStar) Receive(ctx *sim.Context, inbox []sim.Message) {
+	switch phaseStep(ctx.Round()) {
+	case 0:
+		if m.mode == ModeTermination {
+			m.terminate(ctx)
+			return
+		}
+		m.resetPhase()
+		for _, msg := range inbox {
+			if ann, ok := msg.Payload.(Announce); ok && ann.Leader != m.leader {
+				m.foreign[msg.From] = ann
+			}
+		}
+	case 1:
+		if m.role == RoleLeader {
+			for _, msg := range inbox {
+				if rep, ok := msg.Payload.(gtsReport); ok {
+					m.reports = append(m.reports, rep)
+				}
+			}
+		}
+	case 2:
+		for _, msg := range inbox {
+			if _, ok := msg.Payload.(gtsQuery); ok {
+				m.queriers = append(m.queriers, msg.From)
+			}
+		}
+		if m.role == RoleLeader {
+			m.decideSelection(ctx)
+		}
+		if m.role == RoleFollower && m.mode == ModeMerging {
+			// Move to the winning star: f-w via f-m(star), m-w(link).
+			ctx.Activate(m.target)
+		}
+	case 3:
+		for _, msg := range inbox {
+			switch pl := msg.Payload.(type) {
+			case gtsJoined:
+				m.followers[msg.From] = true
+			case gtsReply:
+				if m.role == RoleLeader && m.mode == ModePulling && msg.From == m.target {
+					if pl.Root {
+						m.replyRootSeen = true
+					} else {
+						m.replyFollowSeen = true
+						m.replyNext = pl.Next
+					}
+				}
+			}
+		}
+		if m.role == RoleLeader && m.selecting && m.hop1 != m.selTarget {
+			// Second hop: connect to the target committee's leader over
+			// the border member's star edge.
+			ctx.Activate(m.selTarget)
+		}
+		if m.role == RoleFollower && m.mode == ModeMerging {
+			if !ctx.IsOriginal(m.leader) {
+				ctx.Deactivate(m.leader)
+			}
+			m.leader = m.target
+		}
+	case 4:
+		for _, msg := range inbox {
+			if _, ok := msg.Payload.(gtsLeaderLink); ok {
+				m.linkers = append(m.linkers, msg.From)
+				m.gotLink = true
+			}
+		}
+		if m.role == RoleLeader {
+			if m.selecting && m.hop1Temp && m.hop1 != m.selTarget && !ctx.IsOriginal(m.hop1) {
+				ctx.Deactivate(m.hop1)
+			}
+			if m.mode == ModePulling {
+				m.pullHop(ctx)
+			}
+		}
+	case 5:
+		for _, msg := range inbox {
+			if st, ok := msg.Payload.(gtsSelState); ok && msg.From == m.selTarget {
+				m.paired = st.Paired
+				m.replySeen = true
+			}
+		}
+		if m.role == RoleLeader && m.mode == ModePulling && m.hopped && !ctx.IsOriginal(m.prevTarget) {
+			ctx.Deactivate(m.prevTarget)
+		}
+	case 7:
+		if m.role == RoleFollower {
+			for _, msg := range inbox {
+				if nm, ok := msg.Payload.(gtsNextMode); ok && msg.From == m.leader {
+					m.mode = nm.Mode
+					m.target = nm.Target
+				}
+			}
+		}
+	}
+}
+
+// makeReport summarizes this phase's foreign announcements.
+func (m *GraphToStar) makeReport() gtsReport {
+	rep := gtsReport{AnyForeign: len(m.foreign) > 0}
+	for via, ann := range m.foreign {
+		if !ann.Mode.selectable() {
+			continue
+		}
+		if !rep.HasBest || ann.Leader > rep.BestLeader ||
+			(ann.Leader == rep.BestLeader && via < rep.Via) {
+			rep.HasBest = true
+			rep.BestLeader = ann.Leader
+			rep.Via = via
+		}
+	}
+	return rep
+}
+
+// decideSelection aggregates reports at step 2 for any leader: it
+// detects the no-foreign (termination) condition, and in selection
+// mode picks the greatest selectable foreign committee above our own
+// UID and starts building the leader link (first hop to the border
+// member).
+func (m *GraphToStar) decideSelection(ctx *sim.Context) {
+	best := gtsReport{}
+	anyForeign := false
+	for _, rep := range m.reports {
+		anyForeign = anyForeign || rep.AnyForeign
+		if rep.HasBest && (!best.HasBest || rep.BestLeader > best.BestLeader ||
+			(rep.BestLeader == best.BestLeader && rep.Via < best.Via)) {
+			best = rep
+			best.HasBest = true
+		}
+	}
+	if !anyForeign {
+		m.noForeign = true
+		return
+	}
+	if m.mode != ModeSelection {
+		return
+	}
+	if !best.HasBest || best.BestLeader <= m.selfID {
+		return // nothing greater around: remain in selection
+	}
+	m.selecting = true
+	m.selTarget = best.BestLeader
+	m.hop1 = best.Via
+	if !ctx.HasNeighbor(m.hop1) {
+		// First hop: L-y via the reporting member x (star edge L-x and
+		// original edge x-y are both active).
+		ctx.Activate(m.hop1)
+		m.hop1Temp = true
+	}
+}
+
+// makeReply answers a pulling query given our current situation.
+func (m *GraphToStar) makeReply() gtsReply {
+	if m.role == RoleFollower {
+		return gtsReply{Next: m.leader}
+	}
+	switch {
+	case m.selecting:
+		return gtsReply{Next: m.selTarget}
+	case m.mode == ModeMerging || m.mode == ModePulling:
+		return gtsReply{Next: m.target}
+	default:
+		m.repliedRoot = true
+		return gtsReply{Root: true}
+	}
+}
+
+// isPairable reports whether a selector of this committee should merge
+// (we are a root: not selecting, not dying) rather than pull.
+func (m *GraphToStar) isPairable() bool {
+	return m.role == RoleLeader && !m.selecting &&
+		m.mode != ModeMerging && m.mode != ModePulling
+}
+
+// pullHop processes the query reply in pulling mode: hop along the
+// tree of committees (TreeToStar on committees) or switch to merging
+// if the target turned out to be a root.
+func (m *GraphToStar) pullHop(ctx *sim.Context) {
+	if !m.replyRootSeen && !m.replyFollowSeen {
+		return
+	}
+	if m.replyRootSeen {
+		m.mode = ModeMerging // merge into target next phase
+		return
+	}
+	next := m.replyNext
+	if next == m.target {
+		return
+	}
+	ctx.Activate(next) // witness: L-target, target-next
+	m.prevTarget = m.target
+	m.target = next
+	m.hopped = true
+}
+
+// terminate executes the Termination mode (§3): drop every edge except
+// the star edges, declare statuses, halt.
+func (m *GraphToStar) terminate(ctx *sim.Context) {
+	for _, v := range ctx.Neighbors() {
+		switch {
+		case m.role == RoleFollower && v == m.leader:
+		case m.role == RoleLeader && m.followers[v]:
+		default:
+			ctx.Deactivate(v)
+		}
+	}
+	if m.role == RoleLeader {
+		ctx.SetStatus(sim.StatusLeader)
+	} else {
+		ctx.SetStatus(sim.StatusFollower)
+	}
+	ctx.Halt()
+}
+
+// decideNextMode is the leader's phase-end transition (step 7).
+func (m *GraphToStar) decideNextMode() {
+	switch m.mode {
+	case ModeSelection, ModeWaiting:
+		switch {
+		case m.noForeign:
+			m.mode = ModeTermination
+		case m.selecting && m.replySeen && m.paired:
+			m.mode = ModeMerging
+			m.target = m.selTarget
+		case m.selecting && m.replySeen && !m.paired:
+			m.mode = ModePulling
+			m.target = m.selTarget
+		case m.selecting && !m.replySeen:
+			// Defensive: the link is up but unanswered; resolve it via
+			// the pulling query protocol next phase.
+			m.mode = ModePulling
+			m.target = m.selTarget
+		case m.gotLink || m.repliedRoot:
+			m.mode = ModeWaiting
+		default:
+			m.mode = ModeSelection
+		}
+	case ModeMerging:
+		if !m.execMerge {
+			// Merge scheduled by a pulling Root reply this phase; it
+			// executes next phase.
+			return
+		}
+		// The committee has merged; this leader is now a follower of
+		// the winner. Its erstwhile followers already moved.
+		m.role = RoleFollower
+		m.leader = m.target
+		m.followers = make(map[graph.ID]bool)
+	case ModePulling:
+		// mode may have been flipped to merging by pullHop; nothing to
+		// do otherwise - the next phase queries the new target.
+	}
+}
+
+func (m *GraphToStar) resetPhase() {
+	m.execMerge = m.mode == ModeMerging
+	clear(m.foreign)
+	m.reports = m.reports[:0]
+	m.selecting = false
+	m.selTarget = 0
+	m.hop1 = 0
+	m.hop1Temp = false
+	m.gotLink = false
+	m.repliedRoot = false
+	m.paired = false
+	m.replySeen = false
+	m.noForeign = false
+	m.queriers = nil
+	m.linkers = nil
+	m.replyRootSeen = false
+	m.replyFollowSeen = false
+	m.replyNext = 0
+	m.hopped = false
+	m.prevTarget = 0
+}

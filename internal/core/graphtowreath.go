@@ -1,0 +1,534 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+	"adnet/internal/subroutine"
+)
+
+// GraphToWreath message payloads (§4, Appendix B). The phase is a fixed
+// global schedule of windows (see wreathSched); each payload belongs to
+// one window.
+type (
+	// wReport is the convergecast aggregate flowing up the committee
+	// tree: the best foreign committee seen plus the border pair that
+	// saw it, and whether any foreign committee is adjacent at all.
+	wReport struct {
+		HasBest    bool
+		Best       graph.ID // foreign committee UID
+		BorderX    graph.ID // our member adjacent to it
+		ContactY   graph.ID // their member it is adjacent to
+		AnyForeign bool
+	}
+	// wDecision flows down the committee tree after the leader decides.
+	wDecision struct {
+		Terminate bool
+		Selected  bool
+		Target    graph.ID // target committee UID (its leader)
+		BorderX   graph.ID
+		ContactY  graph.ID
+	}
+	// wAttach is the border-to-contact request opening a splice.
+	wAttach struct{ CommitteeUID graph.ID }
+	// wTailRev is the border's follow-up one step later: its exact ear
+	// tail (known only after its own admissions settled) and whether
+	// it is itself hosting attachers this phase — in which case its
+	// tail is a dangling path end rather than a splice point.
+	wTailRev struct {
+		Tail    graph.ID
+		Hosting bool
+	}
+	// wChain is the host's splice assignment to an admitted border.
+	wChain struct {
+		NewCCW     graph.ID // the border's new ccw ring neighbor
+		TailTarget graph.ID // where the border's tail must connect
+		TailNone   bool     // dangling ear: no tail connection (path end)
+	}
+	// wReject denies an attach for this phase.
+	wReject struct{}
+	// wExpect tells the host's old cw neighbor its new ccw neighbor.
+	wExpect struct{ NewCCW graph.ID }
+	// wSplice instructs the border's tail where to connect.
+	wSplice struct{ Target graph.ID }
+	// wFlagUp convergecasts attach/reject flags to the leader.
+	wFlagUp struct{ Attached, Rejected bool }
+	// wEngaged broadcasts the leader's merge-participation verdict.
+	wEngaged struct{ Engaged bool }
+	// wCut tells a ring's far end that it has no line child.
+	wCut struct{}
+	// wParent is broadcast during the closure window so the hopping
+	// tail can climb the fresh tree toward the root.
+	wParent struct {
+		Parent graph.ID
+		IsRoot bool
+	}
+	// wRingClose tells the root the ring closure edge has arrived.
+	wRingClose struct{}
+	// wInfo floods the merged committee's new leader down the new tree.
+	wInfo struct{ Leader graph.ID }
+)
+
+// wreathSched fixes the per-phase window offsets, identical at every
+// node (computed from n, which §5 grants to all nodes; for §4 it is a
+// scheduling simplification documented in DESIGN.md §3.2).
+type wreathSched struct {
+	d       int // tree-communication window length
+	rebuild int // rebuild window length
+
+	oAnnounce int
+	oUp       int
+	oDown     int
+	oAttach   int
+	oTail     int
+	oChain    int
+	oSplice0  int
+	oSplice1  int
+	oSplice2  int
+	oFlagUp   int
+	oEngDown  int
+	oCut      int
+	oRebuild  int
+	oClose    int
+	oInfo     int
+	length    int
+}
+
+func newWreathSched(n, branching int) wreathSched {
+	// Window size: covers the worst committee tree depth with margin.
+	// The rebuilt binary tree has depth <= ceil(log2 n)+1, but partial
+	// merges can stack a constant number of extra levels per phase, so
+	// budget double that plus slack.
+	d := 2*bits.Len(uint(n)) + 6
+	rb := subroutine.EmbeddedWindow(n, branching)
+	s := wreathSched{d: d, rebuild: rb}
+	at := 0
+	next := func(width int) int {
+		o := at
+		at += width
+		return o
+	}
+	s.oAnnounce = next(1)
+	s.oUp = next(d)
+	s.oDown = next(d)
+	s.oAttach = next(1)
+	s.oTail = next(1)
+	s.oChain = next(1)
+	s.oSplice0 = next(1)
+	s.oSplice1 = next(1)
+	s.oSplice2 = next(1)
+	s.oFlagUp = next(d)
+	s.oEngDown = next(d)
+	s.oCut = next(1)
+	s.oRebuild = next(rb)
+	s.oClose = next(d + 2)
+	s.oInfo = next(d + 1)
+	s.length = at
+	return s
+}
+
+// WreathPhaseLength returns the fixed phase length (rounds) of
+// GraphToWreath / GraphToThinWreath for n nodes and the given gadget
+// branching factor.
+func WreathPhaseLength(n, branching int) int { return newWreathSched(n, branching).length }
+
+// WreathBranching returns the gadget arity used for n nodes: 2 for the
+// wreath, ⌈log2 n⌉ (at least 2) for the thin wreath.
+func WreathBranching(n int, thin bool) int {
+	if !thin {
+		return 2
+	}
+	b := bits.Len(uint(n))
+	if b < 2 {
+		b = 2
+	}
+	return b
+}
+
+// WreathMaxRounds is a generous engine round limit for the wreath
+// algorithms: O(log n) phases of the fixed phase length.
+func WreathMaxRounds(n, branching int) int {
+	return WreathPhaseLength(n, branching) * (6*bits.Len(uint(n)) + 16)
+}
+
+// GraphToWreath is the §4 algorithm (and, via NewGraphToThinWreath-
+// Factory, the §5 GraphToThinWreath). Committees are wreaths — a
+// spanning ring plus a complete b-ary tree rooted at the leader. Each
+// phase: committees discover neighbors over original edges, select the
+// greatest neighbor committee, merge by splicing their rings into the
+// target's ring (concurrent ear insertion with a tail-revision
+// handshake; singleton chains compose as oriented paths), rebuild the
+// tree from the merged line with the embedded line-to-tree subroutine,
+// close the ring again by hopping the line's tail up the fresh tree,
+// and flood the new leader. It solves Depth-log n Tree with O(1)
+// maximum activated degree (Theorem 4.2); the thin variant keeps
+// polylog degree with a shallower gadget (Theorem 5.1).
+type GraphToWreath struct {
+	selfID   graph.ID
+	n        int
+	branch   int
+	admitCap int // >0: per-contact admission cap (ThinWreath matchmaker)
+	sched    wreathSched
+
+	leader graph.ID
+	// Ring/path pointers; == selfID means none on that side.
+	cw, ccw graph.ID
+	// Tree pointers; parent == selfID at the root (the leader).
+	parent   graph.ID
+	children []graph.ID
+
+	origSet map[graph.ID]bool // static original neighborhood
+
+	// --- phase scratch ---
+	foreign  map[graph.ID]graph.ID // orig nbr -> its committee UID
+	up       wReport               // aggregate so far
+	decision wDecision
+	decided  bool
+
+	rawReqs      []wAttachEnv // host: raw attach requests
+	attachers    []wAttachEnv // host: admitted, chain order
+	rejectedReqs []wAttachEnv
+	danglerLast  bool     // last admitted ear dangles (path end)
+	oldCW        graph.ID // host: cw at admission time
+	hostActive   bool
+
+	chainCCW   graph.ID // border: my new ccw
+	tailTarget graph.ID // border: where my tail connects
+	tailNone   bool
+	chainOK    bool
+	rejected   bool
+	spliceT    graph.ID // tail role: target to connect to
+	spliceSet  bool
+	tempBridge bool
+
+	attachedFlag bool
+	flagUp       wFlagUp
+	engaged      bool
+	engagedMark  bool
+	amRoot       bool
+	noLineChild  bool
+	inner        *subroutine.LineToTree
+
+	// Closure-window scratch: the line tail hops up the new tree.
+	closing   bool
+	anchor    graph.ID
+	heardPar  map[graph.ID]wParent
+	closeDone bool
+	closeSent bool
+
+	infoLeader  graph.ID
+	infoSeen    bool
+	terminating bool
+	halted      bool
+}
+
+type wAttachEnv struct {
+	From    graph.ID
+	UID     graph.ID
+	Tail    graph.ID
+	Hosting bool
+}
+
+var _ sim.Machine = (*GraphToWreath)(nil)
+
+// NewGraphToWreathFactory returns the §4 machine factory (binary-tree
+// wreath gadget, unlimited admission).
+func NewGraphToWreathFactory() sim.Factory {
+	return newWreathFactory(false)
+}
+
+// NewGraphToThinWreathFactory returns the §5 machine factory
+// (⌈log n⌉-ary gadget, per-contact admission cap — the matchmaker of
+// Appendix C reduced to bounded admission, see DESIGN.md §3.3).
+func NewGraphToThinWreathFactory() sim.Factory {
+	return newWreathFactory(true)
+}
+
+func newWreathFactory(thin bool) sim.Factory {
+	admit := 0
+	if thin {
+		admit = 2
+	}
+	return NewWreathFactoryOpts(WreathOptions{Thin: thin, AdmitCap: admit})
+}
+
+// WreathOptions tunes the wreath family for ablation studies.
+type WreathOptions struct {
+	// Thin selects the ⌈log n⌉-ary gadget (§5) over the binary one (§4).
+	Thin bool
+	// AdmitCap bounds how many attachers one contact admits per phase
+	// (0 = unlimited). The ThinWreath matchmaker uses 2.
+	AdmitCap int
+	// Branching overrides the gadget arity (0 = derive from Thin/n).
+	Branching int
+}
+
+// NewWreathFactoryOpts returns a wreath machine factory with explicit
+// knobs; the ablation benchmarks sweep AdmitCap and Branching.
+func NewWreathFactoryOpts(o WreathOptions) sim.Factory {
+	return func(id graph.ID, env sim.Env) sim.Machine {
+		b := o.Branching
+		if b == 0 {
+			b = WreathBranching(env.N, o.Thin)
+		}
+		return &GraphToWreath{
+			selfID:   id,
+			n:        env.N,
+			branch:   b,
+			admitCap: o.AdmitCap,
+			sched:    newWreathSched(env.N, b),
+			leader:   id,
+			cw:       id,
+			ccw:      id,
+			parent:   id,
+			foreign:  make(map[graph.ID]graph.ID),
+			heardPar: make(map[graph.ID]wParent),
+		}
+	}
+}
+
+// Leader returns the node's current committee leader.
+func (m *GraphToWreath) Leader() graph.ID { return m.leader }
+
+// RingNeighbors returns the node's ring pointers (selfID on a side
+// with no neighbor).
+func (m *GraphToWreath) RingNeighbors() (cw, ccw graph.ID) { return m.cw, m.ccw }
+
+// TreeParent returns the node's tree parent (itself at the root).
+func (m *GraphToWreath) TreeParent() graph.ID { return m.parent }
+
+func (m *GraphToWreath) step(round int) int { return (round - 1) % m.sched.length }
+
+func (m *GraphToWreath) in(step, o, width int) bool { return step >= o && step < o+width }
+
+// Init implements sim.Machine.
+func (m *GraphToWreath) Init(ctx *sim.Context) {
+	m.origSet = make(map[graph.ID]bool)
+	for _, v := range ctx.OrigNeighbors() {
+		m.origSet[v] = true
+	}
+}
+
+// Send implements sim.Machine.
+func (m *GraphToWreath) Send(ctx *sim.Context) {
+	if m.halted {
+		return
+	}
+	st := m.step(ctx.Round())
+	sc := &m.sched
+	switch {
+	case st == sc.oAnnounce:
+		ann := Announce{Leader: m.leader, Mode: ModeSelection}
+		for _, v := range ctx.OrigNeighbors() {
+			ctx.Send(v, ann)
+		}
+	case m.in(st, sc.oUp, sc.d):
+		if m.parent != m.selfID {
+			ctx.Send(m.parent, m.up)
+		}
+	case m.in(st, sc.oDown, sc.d):
+		if m.isLeader() && !m.decided {
+			m.decide()
+		}
+		if m.decided {
+			for _, c := range m.children {
+				ctx.Send(c, m.decision)
+			}
+		}
+	case st == sc.oAttach:
+		if m.decided && m.decision.Selected && m.decision.BorderX == m.selfID {
+			ctx.Send(m.decision.ContactY, wAttach{CommitteeUID: m.leader})
+		}
+	case st == sc.oTail:
+		if m.decided && m.decision.Selected && m.decision.BorderX == m.selfID {
+			ctx.Send(m.decision.ContactY, wTailRev{Tail: m.earTail(), Hosting: len(m.rawReqs) > 0})
+		}
+	case st == sc.oChain:
+		m.sendChainAssignments(ctx)
+	case st == sc.oSplice0:
+		if m.chainOK && !m.tailNone && m.ccw != m.selfID {
+			ctx.Send(m.ccw, wSplice{Target: m.tailTarget})
+		}
+	case m.in(st, sc.oFlagUp, sc.d):
+		if m.parent != m.selfID {
+			ctx.Send(m.parent, m.flagUp)
+		}
+	case m.in(st, sc.oEngDown, sc.d):
+		if m.isLeader() && !m.engagedMark {
+			selectedOK := m.decision.Selected && !m.flagUp.Rejected
+			m.engaged = selectedOK || m.flagUp.Attached
+			m.amRoot = m.flagUp.Attached && !selectedOK
+			m.engagedMark = true
+		}
+		if m.engagedMark {
+			for _, c := range m.children {
+				if wreathDebugHook != nil {
+					wreathDebugHook(ctx.Round(), m.selfID, fmt.Sprintf("engsend->%d %v", c, m.engaged))
+				}
+				ctx.Send(c, wEngaged{Engaged: m.engaged})
+			}
+		}
+	case st == sc.oCut:
+		if m.engaged && m.isLeader() && m.amRoot && m.ccw != m.selfID {
+			ctx.Send(m.ccw, wCut{})
+		}
+	case m.in(st, sc.oRebuild, sc.rebuild):
+		if m.inner != nil {
+			m.inner.Send(ctx)
+		}
+	case m.in(st, sc.oClose, sc.d+2):
+		if m.engaged {
+			ctx.Broadcast(wParent{Parent: m.parent, IsRoot: m.parent == m.selfID})
+			if m.closeDone && !m.closeSent {
+				ctx.Send(m.anchor, wRingClose{})
+				m.closeSent = true
+			}
+		}
+	case m.in(st, sc.oInfo, sc.d+1):
+		if m.infoSeen {
+			for _, c := range m.children {
+				ctx.Send(c, wInfo{Leader: m.infoLeader})
+			}
+		}
+	}
+}
+
+// Receive implements sim.Machine.
+func (m *GraphToWreath) Receive(ctx *sim.Context, inbox []sim.Message) {
+	if m.halted {
+		return
+	}
+	st := m.step(ctx.Round())
+	sc := &m.sched
+	switch {
+	case st == sc.oAnnounce:
+		m.checkInvariants(ctx)
+		m.resetPhase()
+		for _, msg := range inbox {
+			if ann, ok := msg.Payload.(Announce); ok && ann.Leader != m.leader {
+				m.foreign[msg.From] = ann.Leader
+			}
+		}
+		m.seedAggregate()
+	case m.in(st, sc.oUp, sc.d):
+		for _, msg := range inbox {
+			if rep, ok := msg.Payload.(wReport); ok {
+				m.mergeReport(rep)
+			}
+		}
+	case m.in(st, sc.oDown, sc.d):
+		if m.terminating {
+			m.terminate(ctx)
+			return
+		}
+		for _, msg := range inbox {
+			if dec, ok := msg.Payload.(wDecision); ok && msg.From == m.parent {
+				m.decision = dec
+				m.decided = true
+				if dec.Terminate {
+					m.terminating = true
+				}
+			}
+		}
+	case st == sc.oAttach:
+		for _, msg := range inbox {
+			if req, ok := msg.Payload.(wAttach); ok {
+				m.rawReqs = append(m.rawReqs, wAttachEnv{From: msg.From, UID: req.CommitteeUID})
+			}
+		}
+	case st == sc.oTail:
+		m.finalizeAdmissions(inbox)
+	case st == sc.oChain:
+		for _, msg := range inbox {
+			switch pl := msg.Payload.(type) {
+			case wChain:
+				m.chainOK = true
+				m.chainCCW = pl.NewCCW
+				m.tailTarget = pl.TailTarget
+				m.tailNone = pl.TailNone
+			case wReject:
+				m.rejected = true
+			case wExpect:
+				m.ccw = pl.NewCCW // safe: t-rule keeps borders out of this slot
+			}
+		}
+		m.flagUp = wFlagUp{Attached: m.attachedFlag, Rejected: m.rejected}
+	case st == sc.oSplice0:
+		for _, msg := range inbox {
+			if sp, ok := msg.Payload.(wSplice); ok {
+				m.spliceT = sp.Target
+				m.spliceSet = true
+			}
+		}
+	case st == sc.oSplice1:
+		m.spliceRound1(ctx)
+	case st == sc.oSplice2:
+		m.spliceRound2(ctx)
+	case m.in(st, sc.oFlagUp, sc.d):
+		for _, msg := range inbox {
+			if f, ok := msg.Payload.(wFlagUp); ok {
+				m.flagUp.Attached = m.flagUp.Attached || f.Attached
+				m.flagUp.Rejected = m.flagUp.Rejected || f.Rejected
+			}
+		}
+	case m.in(st, sc.oEngDown, sc.d):
+		for _, msg := range inbox {
+			if e, ok := msg.Payload.(wEngaged); ok && msg.From == m.parent {
+				if wreathDebugHook != nil {
+					wreathDebugHook(ctx.Round(), m.selfID, fmt.Sprintf("engrecv<-%d %v", msg.From, e.Engaged))
+				}
+				m.engaged = e.Engaged
+				m.engagedMark = true
+			}
+		}
+	case st == sc.oCut:
+		for _, msg := range inbox {
+			if _, ok := msg.Payload.(wCut); ok {
+				m.noLineChild = true
+			}
+		}
+		m.prepareRebuild(ctx)
+	case m.in(st, sc.oRebuild, sc.rebuild):
+		if m.inner != nil {
+			m.inner.Receive(ctx, inbox)
+			if st == sc.oRebuild+sc.rebuild-1 {
+				m.adoptRebuiltTree(ctx)
+			}
+		}
+	case m.in(st, sc.oClose, sc.d+2):
+		m.closeRing(ctx, inbox)
+	case m.in(st, sc.oInfo, sc.d+1):
+		for _, msg := range inbox {
+			if info, ok := msg.Payload.(wInfo); ok && msg.From == m.parent {
+				m.infoLeader = info.Leader
+				m.infoSeen = true
+				m.leader = info.Leader
+			}
+		}
+	}
+}
+
+// wreathDebugHook, when set by white-box tests, receives descriptions
+// of per-node structural invariant violations at every phase boundary.
+var wreathDebugHook func(round int, id graph.ID, desc string)
+
+// checkInvariants verifies that every structural pointer is backed by
+// an active edge. It is a no-op unless a test installed the hook.
+func (m *GraphToWreath) checkInvariants(ctx *sim.Context) {
+	if wreathDebugHook == nil {
+		return
+	}
+	chk := func(p graph.ID, what string) {
+		if p != m.selfID && !ctx.HasNeighbor(p) {
+			wreathDebugHook(ctx.Round(), m.selfID, what)
+		}
+	}
+	chk(m.cw, "cw")
+	chk(m.ccw, "ccw")
+	chk(m.parent, "parent")
+	for _, c := range m.children {
+		chk(c, "child")
+	}
+}

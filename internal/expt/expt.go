@@ -1,0 +1,198 @@
+// Package expt is the experiment harness: it regenerates every
+// table/figure-level claim of the paper (the experiment index E1–E13
+// in DESIGN.md) as measured series, ready for EXPERIMENTS.md and the
+// benchmark suite.
+package expt
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"adnet/internal/baseline"
+	"adnet/internal/core"
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+	"adnet/internal/tasks"
+)
+
+// Outcome is the unified measurement of one run, in the paper's cost
+// measures (§2.2).
+type Outcome struct {
+	N                  int
+	Rounds             int // rounds until every node halted
+	LastActivity       int // last round with an edge activation/deactivation
+	TotalActivations   int
+	MaxActivatedEdges  int // max_i |E(i) \ E(1)|
+	MaxActivatedDegree int
+	FinalDiameter      int // diameter of the final active graph
+	FinalDepth         int // eccentricity of the elected leader
+	LeaderOK           bool
+}
+
+// Algorithm names for RunAlgorithm.
+const (
+	AlgoStar        = "graph-to-star"
+	AlgoWreath      = "graph-to-wreath"
+	AlgoThinWreath  = "graph-to-thinwreath"
+	AlgoClique      = "clique"
+	AlgoFlood       = "flood"
+	AlgoCentralized = "centralized-euler"
+)
+
+// Algorithms lists every runnable algorithm name.
+func Algorithms() []string {
+	return []string{AlgoStar, AlgoWreath, AlgoThinWreath, AlgoClique, AlgoFlood, AlgoCentralized}
+}
+
+// RunAlgorithm executes the named algorithm on a copy of gs and
+// returns the unified outcome.
+func RunAlgorithm(name string, gs *graph.Graph) (Outcome, error) {
+	known := false
+	for _, a := range Algorithms() {
+		if a == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return Outcome{}, fmt.Errorf("expt: unknown algorithm %q", name)
+	}
+	if gs == nil || gs.NumNodes() == 0 {
+		return Outcome{}, fmt.Errorf("expt: empty initial graph")
+	}
+	n := gs.NumNodes()
+	umax := gs.MaxID()
+	if name == AlgoCentralized {
+		res, err := baseline.EulerTourStrategy(gs)
+		if err != nil {
+			return Outcome{}, err
+		}
+		final := res.History.CurrentClone()
+		return Outcome{
+			N:                  n,
+			Rounds:             res.Metrics.Rounds,
+			LastActivity:       res.Metrics.LastActivityRound,
+			TotalActivations:   res.Metrics.TotalActivations,
+			MaxActivatedEdges:  res.Metrics.MaxActivatedEdges,
+			MaxActivatedDegree: res.Metrics.MaxActivatedDegree,
+			FinalDiameter:      final.ApproxDiameter(),
+			FinalDepth:         res.Depth,
+			LeaderOK:           true, // the centralized controller knows u_max
+		}, nil
+	}
+
+	var factory sim.Factory
+	var opts []sim.Option
+	switch name {
+	case AlgoStar:
+		factory = core.NewGraphToStarFactory()
+	case AlgoWreath:
+		factory = core.NewGraphToWreathFactory()
+		opts = append(opts, sim.WithMaxRounds(core.WreathMaxRounds(n, core.WreathBranching(n, false))))
+	case AlgoThinWreath:
+		factory = core.NewGraphToThinWreathFactory()
+		opts = append(opts, sim.WithMaxRounds(core.WreathMaxRounds(n, core.WreathBranching(n, true))))
+	case AlgoClique:
+		factory = baseline.NewCliqueFactory()
+	case AlgoFlood:
+		factory = baseline.NewFloodFactory()
+	default:
+		return Outcome{}, fmt.Errorf("expt: unknown algorithm %q", name)
+	}
+	res, err := sim.Run(gs, factory, opts...)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("expt: %s on n=%d: %w", name, n, err)
+	}
+	final := res.History.CurrentClone()
+	out := Outcome{
+		N:                  n,
+		Rounds:             res.Rounds,
+		LastActivity:       res.Metrics.LastActivityRound,
+		TotalActivations:   res.Metrics.TotalActivations,
+		MaxActivatedEdges:  res.Metrics.MaxActivatedEdges,
+		MaxActivatedDegree: res.Metrics.MaxActivatedDegree,
+		FinalDiameter:      final.ApproxDiameter(),
+		LeaderOK:           tasks.VerifyLeaderElection(res, umax) == nil,
+	}
+	if final.HasNode(umax) {
+		out.FinalDepth = final.Eccentricity(umax)
+	}
+	return out, nil
+}
+
+// Workload builds the named initial-network family at size n.
+func Workload(name string, n int, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "line":
+		return graph.Line(n), nil
+	case "ring", "increasing-ring":
+		return graph.IncreasingRing(n), nil
+	case "random-tree":
+		return graph.RandomTree(n, rng), nil
+	case "bounded-degree":
+		return graph.RandomBoundedDegree(n, 4, n/2, rng)
+	case "random":
+		return graph.PermuteIDs(graph.RandomConnected(n, n, rng), rng), nil
+	case "star":
+		return graph.Star(n), nil
+	default:
+		return nil, fmt.Errorf("expt: unknown workload %q", name)
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's claim this table checks
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "paper: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// logn is ⌈log2 n⌉ as used throughout the bounds.
+func logn(n int) int { return bits.Len(uint(n)) }
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// SortRows orders rows numerically by the first column (n).
+func SortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(rows[i][0], "%d", &a)
+		fmt.Sscanf(rows[j][0], "%d", &b)
+		return a < b
+	})
+}

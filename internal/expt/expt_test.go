@@ -1,0 +1,145 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, tab *Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == col {
+			return tab.Rows[row][i]
+		}
+	}
+	t.Fatalf("column %q not in %v", col, tab.Columns)
+	return ""
+}
+
+func cellInt(t *testing.T, tab *Table, row int, col string) int {
+	t.Helper()
+	v, err := strconv.Atoi(cell(t, tab, row, col))
+	if err != nil {
+		t.Fatalf("cell %s[%d] = %q not an int", col, row, cell(t, tab, row, col))
+	}
+	return v
+}
+
+func cellFloat(t *testing.T, tab *Table, row int, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tab, row, col), 64)
+	if err != nil {
+		t.Fatalf("cell %s[%d] not a float", col, row)
+	}
+	return v
+}
+
+func TestAllExperimentsRunSmall(t *testing.T) {
+	t.Parallel()
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tab, err := Run(id, []int{32, 64})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			if !strings.Contains(tab.String(), tab.ID) {
+				t.Fatalf("%s: render broken", id)
+			}
+		})
+	}
+}
+
+func TestE3ShapeHolds(t *testing.T) {
+	t.Parallel()
+	tab, err := E3GraphToStar([]int{128, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		if cell(t, tab, i, "leaderOK") != "true" {
+			t.Errorf("row %d: leader election failed", i)
+		}
+		if d := cellInt(t, tab, i, "finalDepth"); d != 1 {
+			t.Errorf("row %d: depth %d, want 1 (star)", i, d)
+		}
+		// Normalized activations stay bounded (the n log n shape).
+		if r := cellFloat(t, tab, i, "act/(n log n)"); r > 4 {
+			t.Errorf("row %d: activation ratio %v", i, r)
+		}
+	}
+}
+
+func TestE9SeparationGrows(t *testing.T) {
+	t.Parallel()
+	tab, err := E9DistributedActivations([]int{64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := cellFloat(t, tab, 0, "ratio")
+	r1 := cellFloat(t, tab, 1, "ratio")
+	if r1 <= r0 {
+		t.Errorf("separation should grow with n: %v then %v", r0, r1)
+	}
+}
+
+func TestE12SpeedupGrows(t *testing.T) {
+	t.Parallel()
+	tab, err := E12Compose([]int{64, 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := cellFloat(t, tab, 0, "speedup")
+	s1 := cellFloat(t, tab, 1, "speedup")
+	if s1 <= s0 {
+		t.Errorf("composition speedup should grow with n: %v then %v", s0, s1)
+	}
+	if s1 < 2 {
+		t.Errorf("composition should clearly beat flooding at n=512: %v", s1)
+	}
+}
+
+func TestTradeoffTable(t *testing.T) {
+	t.Parallel()
+	tab, err := TradeoffTable(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Algorithms()) {
+		t.Fatalf("rows %d, want %d", len(tab.Rows), len(Algorithms()))
+	}
+	// The clique strategy must dominate everyone on activations.
+	var clique, star int
+	for i := range tab.Rows {
+		switch cell(t, tab, i, "algorithm") {
+		case AlgoClique:
+			clique = cellInt(t, tab, i, "totalAct")
+		case AlgoStar:
+			star = cellInt(t, tab, i, "totalAct")
+		}
+	}
+	if clique <= star {
+		t.Errorf("clique (%d) should cost more activations than star (%d)", clique, star)
+	}
+}
+
+func TestWorkloadsAndAlgorithmNames(t *testing.T) {
+	t.Parallel()
+	for _, w := range []string{"line", "ring", "random-tree", "bounded-degree", "random", "star"} {
+		g, err := Workload(w, 20, 1)
+		if err != nil || g.NumNodes() != 20 {
+			t.Errorf("workload %s: %v", w, err)
+		}
+	}
+	if _, err := Workload("nope", 10, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := RunAlgorithm("nope", nil); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

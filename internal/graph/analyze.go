@@ -1,0 +1,228 @@
+package graph
+
+import "sort"
+
+// BFS runs a breadth-first search from src and returns the distance of
+// every reachable node. Unreachable nodes are absent from the map.
+func (g *Graph) BFS(src ID) map[ID]int {
+	dist := make(map[ID]int, len(g.adj))
+	if !g.HasNode(src) {
+		return dist
+	}
+	dist[src] = 0
+	frontier := []ID{src}
+	for len(frontier) > 0 {
+		var next []ID
+		for _, u := range frontier {
+			du := dist[u]
+			for v := range g.adj[u] {
+				if _, seen := dist[v]; !seen {
+					dist[v] = du + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// Dist returns the hop distance between u and v, or -1 if v is
+// unreachable from u.
+func (g *Graph) Dist(u, v ID) int {
+	if u == v && g.HasNode(u) {
+		return 0
+	}
+	d, ok := g.BFS(u)[v]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// IsConnected reports whether g is connected. The empty graph counts as
+// connected.
+func (g *Graph) IsConnected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	var src ID
+	for u := range g.adj {
+		src = u
+		break
+	}
+	return len(g.BFS(src)) == len(g.adj)
+}
+
+// Eccentricity returns the greatest distance from u to any node, or -1
+// if some node is unreachable.
+func (g *Graph) Eccentricity(u ID) int {
+	dist := g.BFS(u)
+	if len(dist) != len(g.adj) {
+		return -1
+	}
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter of g (the maximum eccentricity),
+// or -1 if g is disconnected. It runs a BFS from every node, so it is
+// O(n·m); use ApproxDiameter for large instances.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for u := range g.adj {
+		ecc := g.Eccentricity(u)
+		if ecc < 0 {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// ApproxDiameter returns a 2-approximation lower bound on the diameter
+// via double BFS (eccentricity of the farthest node from an arbitrary
+// start). It returns -1 if g is disconnected. The true diameter lies in
+// [result, 2·result].
+func (g *Graph) ApproxDiameter() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	var src ID
+	for u := range g.adj {
+		src = u
+		break
+	}
+	dist := g.BFS(src)
+	if len(dist) != len(g.adj) {
+		return -1
+	}
+	far, farD := src, 0
+	for v, d := range dist {
+		if d > farD || (d == farD && v < far) {
+			far, farD = v, d
+		}
+	}
+	return g.Eccentricity(far)
+}
+
+// SpanningTree returns a BFS spanning tree of g rooted at root, as a
+// parent map (the root maps to itself). It returns false if g is
+// disconnected or root is absent.
+func (g *Graph) SpanningTree(root ID) (map[ID]ID, bool) {
+	if !g.HasNode(root) {
+		return nil, false
+	}
+	parent := map[ID]ID{root: root}
+	frontier := []ID{root}
+	for len(frontier) > 0 {
+		var next []ID
+		for _, u := range frontier {
+			// Deterministic order keeps tree shape reproducible.
+			for _, v := range g.Neighbors(u) {
+				if _, seen := parent[v]; !seen {
+					parent[v] = u
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(parent) != len(g.adj) {
+		return nil, false
+	}
+	return parent, true
+}
+
+// TreeDepth returns the depth of the tree encoded by a parent map (root
+// maps to itself): the maximum number of parent hops from any node.
+func TreeDepth(parent map[ID]ID) int {
+	depth := make(map[ID]int, len(parent))
+	var depthOf func(u ID) int
+	depthOf = func(u ID) int {
+		if d, ok := depth[u]; ok {
+			return d
+		}
+		p := parent[u]
+		if p == u {
+			depth[u] = 0
+			return 0
+		}
+		d := depthOf(p) + 1
+		depth[u] = d
+		return d
+	}
+	maxDepth := 0
+	for u := range parent {
+		if d := depthOf(u); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return maxDepth
+}
+
+// IsTree reports whether g is a tree (connected with exactly n-1 edges).
+func (g *Graph) IsTree() bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return true
+	}
+	return g.NumEdges() == n-1 && g.IsConnected()
+}
+
+// EulerTour returns an Euler tour of the BFS spanning tree of g rooted
+// at root: a closed walk visiting every tree edge exactly twice, as a
+// sequence of node IDs of length 2(n-1)+1 that starts and ends at root.
+// It returns false if g is disconnected. The tour is the virtual line
+// used by the centralized strategy of Theorem 6.3.
+func (g *Graph) EulerTour(root ID) ([]ID, bool) {
+	parent, ok := g.SpanningTree(root)
+	if !ok {
+		return nil, false
+	}
+	children := make(map[ID][]ID, len(parent))
+	for u, p := range parent {
+		if u != p {
+			children[p] = append(children[p], u)
+		}
+	}
+	for _, cs := range children {
+		sortIDs(cs)
+	}
+	// Iterative DFS producing the tour, to stay safe on path graphs
+	// (recursion depth would be Θ(n)).
+	tour := make([]ID, 0, 2*len(parent))
+	type frame struct {
+		node ID
+		next int
+	}
+	stack := []frame{{node: root}}
+	tour = append(tour, root)
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		cs := children[top.node]
+		if top.next < len(cs) {
+			child := cs[top.next]
+			top.next++
+			stack = append(stack, frame{node: child})
+			tour = append(tour, child)
+			continue
+		}
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			tour = append(tour, stack[len(stack)-1].node)
+		}
+	}
+	return tour, true
+}
+
+func sortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

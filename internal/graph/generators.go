@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Line returns a spanning line u_0 - u_1 - ... - u_{n-1} with IDs 0..n-1.
+// The spanning line is the paper's canonical worst case: diameter n-1
+// and Θ(n) distance between the extreme UIDs.
+func Line(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(ID(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(ID(i), ID(i+1))
+	}
+	return g
+}
+
+// Ring returns a cycle on IDs 0..n-1 (n >= 3); for n < 3 it degenerates
+// to a line.
+func Ring(n int) *Graph {
+	g := Line(n)
+	if n >= 3 {
+		g.MustAddEdge(ID(n-1), ID(0))
+	}
+	return g
+}
+
+// IncreasingRing returns the increasing order ring of Definition D.8:
+// UIDs assigned in increasing order clockwise around a cycle. This is
+// the lower-bound instance of Theorem 6.4 (distributed algorithms pay
+// Ω(n log n) total edge activations on it).
+func IncreasingRing(n int) *Graph { return Ring(n) }
+
+// Star returns a star with center 0 and leaves 1..n-1.
+func Star(n int) *Graph {
+	g := New()
+	g.AddNode(0)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, ID(i))
+	}
+	return g
+}
+
+// Complete returns the clique K_n on IDs 0..n-1.
+func Complete(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(ID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(ID(i), ID(j))
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns a complete binary tree on IDs 0..n-1 in
+// heap order (children of i are 2i+1 and 2i+2).
+func CompleteBinaryTree(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(ID(i))
+	}
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			g.MustAddEdge(ID(i), ID(l))
+		}
+		if r := 2*i + 2; r < n {
+			g.MustAddEdge(ID(i), ID(r))
+		}
+	}
+	return g
+}
+
+// Grid returns an r x c grid graph with row-major IDs.
+func Grid(r, c int) *Graph {
+	g := New()
+	at := func(i, j int) ID { return ID(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			g.AddNode(at(i, j))
+			if i > 0 {
+				g.MustAddEdge(at(i, j), at(i-1, j))
+			}
+			if j > 0 {
+				g.MustAddEdge(at(i, j), at(i, j-1))
+			}
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a spine of the given length with legs pendant
+// nodes attached to every spine node. It is a bounded-degree tree whose
+// depth stays linear in the spine, a useful TreeToStar workload.
+func Caterpillar(spine, legs int) *Graph {
+	g := Line(spine)
+	next := spine
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			g.MustAddEdge(ID(s), ID(next))
+			next++
+		}
+	}
+	return g
+}
+
+// Lollipop returns a clique of size k attached to a path of length p:
+// the classic low-conductance instance.
+func Lollipop(k, p int) *Graph {
+	g := Complete(k)
+	prev := ID(k - 1)
+	for i := 0; i < p; i++ {
+		next := ID(k + i)
+		g.MustAddEdge(prev, next)
+		prev = next
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on IDs 0..n-1,
+// generated from a random Prüfer sequence.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(ID(i))
+	}
+	if n <= 1 {
+		return g
+	}
+	if n == 2 {
+		g.MustAddEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	// Standard Prüfer decoding with a scan pointer + leaf reuse.
+	ptr := 0
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range prufer {
+		g.MustAddEdge(ID(leaf), ID(v))
+		degree[v]--
+		if degree[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	// Two leaves remain; the larger one is n-1.
+	g.MustAddEdge(ID(leaf), ID(n-1))
+	return g
+}
+
+// RandomConnected returns a connected graph on IDs 0..n-1: a random
+// tree plus extra random non-parallel edges. extra may exceed the
+// number of available non-edges; insertion stops when the graph is
+// complete.
+func RandomConnected(n, extra int, rng *rand.Rand) *Graph {
+	g := RandomTree(n, rng)
+	maxEdges := n * (n - 1) / 2
+	for added := 0; added < extra && g.NumEdges() < maxEdges; {
+		u := ID(rng.Intn(n))
+		v := ID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+		added++
+	}
+	return g
+}
+
+// RandomBoundedDegree returns a connected graph with maximum degree at
+// most maxDeg >= 2: a random spanning line (keeping degree 2) plus
+// random chords that respect the bound. It is the workload family for
+// GraphToWreath, which preserves bounded degree.
+func RandomBoundedDegree(n, maxDeg, extra int, rng *rand.Rand) (*Graph, error) {
+	if maxDeg < 2 {
+		return nil, fmt.Errorf("graph: maxDeg %d < 2 cannot stay connected beyond n=2", maxDeg)
+	}
+	perm := rng.Perm(n)
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(ID(i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(ID(perm[i]), ID(perm[i+1]))
+	}
+	for added, tries := 0, 0; added < extra && tries < 20*extra+100; tries++ {
+		u := ID(rng.Intn(n))
+		v := ID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) || g.Degree(u) >= maxDeg || g.Degree(v) >= maxDeg {
+			continue
+		}
+		g.MustAddEdge(u, v)
+		added++
+	}
+	return g, nil
+}
+
+// PermuteIDs returns a copy of g whose IDs are relabelled by a random
+// permutation of 0..n-1 drawn from rng. Structural properties are
+// preserved while UID placement — which comparison-based algorithms are
+// sensitive to — is randomized.
+func PermuteIDs(g *Graph, rng *rand.Rand) *Graph {
+	nodes := g.Nodes()
+	perm := rng.Perm(len(nodes))
+	mapping := make(map[ID]ID, len(nodes))
+	for i, u := range nodes {
+		mapping[u] = nodes[perm[i]]
+	}
+	out := New()
+	for _, u := range nodes {
+		out.AddNode(mapping[u])
+	}
+	for _, e := range g.Edges() {
+		out.MustAddEdge(mapping[e.A], mapping[e.B])
+	}
+	return out
+}

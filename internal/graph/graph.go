@@ -1,0 +1,212 @@
+// Package graph provides the static undirected graphs that actively
+// dynamic networks start from: a deterministic adjacency structure,
+// standard analyses (BFS, diameter, spanning trees, Euler tours) and a
+// family of generators used by the paper's workloads (lines, rings,
+// increasing-order rings, trees, bounded-degree random graphs, ...).
+//
+// Node identity doubles as the paper's unique identifier (UID): the
+// algorithms in internal/core are comparison based, so a node's ID is
+// the only thing they ever compare.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies a node and serves as its UID. IDs must be non-negative
+// and unique within a graph.
+type ID int
+
+// Edge is an undirected pair of node IDs, stored in canonical order
+// (A < B) so it can be used as a map key.
+type Edge struct {
+	A, B ID
+}
+
+// NewEdge returns the canonical form of the undirected edge {u, v}.
+func NewEdge(u, v ID) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{A: u, B: v}
+}
+
+// Other returns the endpoint of e that is not u. It panics if u is not
+// an endpoint, which always indicates a programming error.
+func (e Edge) Other(u ID) ID {
+	switch u {
+	case e.A:
+		return e.B
+	case e.B:
+		return e.A
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", u, e))
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.A, e.B) }
+
+// Graph is a simple undirected graph. The zero value is not usable;
+// call New.
+type Graph struct {
+	adj map[ID]map[ID]struct{}
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[ID]map[ID]struct{})}
+}
+
+// AddNode inserts an isolated node. Adding an existing node is a no-op.
+func (g *Graph) AddNode(u ID) {
+	if _, ok := g.adj[u]; !ok {
+		g.adj[u] = make(map[ID]struct{})
+	}
+}
+
+// HasNode reports whether u is a node of g.
+func (g *Graph) HasNode(u ID) bool {
+	_, ok := g.adj[u]
+	return ok
+}
+
+// AddEdge inserts the undirected edge {u, v}, adding the endpoints if
+// necessary. Self-loops are rejected with an error because the model
+// has no use for them; duplicate edges are a no-op.
+func (g *Graph) AddEdge(u, v ID) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	g.AddNode(u)
+	g.AddNode(v)
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code where a self-loop is a
+// programming error.
+func (g *Graph) MustAddEdge(u, v ID) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present and reports
+// whether it existed.
+func (g *Graph) RemoveEdge(u, v ID) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	return true
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v ID) bool {
+	nbrs, ok := g.adj[u]
+	if !ok {
+		return false
+	}
+	_, ok = nbrs[v]
+	return ok
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []ID {
+	out := make([]ID, 0, len(g.adj))
+	for u := range g.adj {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Neighbors returns the neighbors of u in ascending order. The result
+// is a fresh slice owned by the caller.
+func (g *Graph) Neighbors(u ID) []ID {
+	nbrs := g.adj[u]
+	out := make([]ID, 0, len(nbrs))
+	for v := range nbrs {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u ID) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum degree over all nodes (0 for the empty
+// graph).
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > maxDeg {
+			maxDeg = len(nbrs)
+		}
+	}
+	return maxDeg
+}
+
+// Edges returns all edges in canonical form, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u, nbrs := range g.adj {
+		for v := range nbrs {
+			if u < v {
+				out = append(out, Edge{A: u, B: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for u, nbrs := range g.adj {
+		c.AddNode(u)
+		for v := range nbrs {
+			c.adj[u][v] = struct{}{}
+		}
+	}
+	return c
+}
+
+// MaxID returns the largest node ID in g, or -1 for an empty graph.
+// In the paper's terms this is u_max, the eventual unique leader.
+func (g *Graph) MaxID() ID {
+	maxID := ID(-1)
+	for u := range g.adj {
+		if u > maxID {
+			maxID = u
+		}
+	}
+	return maxID
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.NumNodes(), g.NumEdges())
+}

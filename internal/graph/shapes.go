@@ -1,0 +1,76 @@
+package graph
+
+import "fmt"
+
+// IsStarCentered reports whether g is a spanning star centered at c:
+// every other node is adjacent to c and has degree exactly 1. A
+// single-node graph is a star centered at that node.
+func (g *Graph) IsStarCentered(c ID) bool {
+	if !g.HasNode(c) {
+		return false
+	}
+	n := g.NumNodes()
+	if n == 1 {
+		return g.NumEdges() == 0
+	}
+	if g.Degree(c) != n-1 || g.NumEdges() != n-1 {
+		return false
+	}
+	for _, u := range g.Nodes() {
+		if u != c && g.Degree(u) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// CompleteAryTreeShape checks that g is a tree rooted at root in which
+// every node has at most b children and every depth level except the
+// last is fully populated (level i holds b^i nodes). It returns the
+// tree depth. This is the target-shape validator for the paper's
+// LineToCompleteBinaryTree (b = 2) and its polylogarithmic variant.
+func (g *Graph) CompleteAryTreeShape(root ID, b int) (depth int, err error) {
+	if b < 2 {
+		return 0, fmt.Errorf("graph: branching factor %d < 2", b)
+	}
+	if !g.IsTree() {
+		return 0, fmt.Errorf("graph: not a tree (n=%d, m=%d, connected=%v)",
+			g.NumNodes(), g.NumEdges(), g.IsConnected())
+	}
+	if !g.HasNode(root) {
+		return 0, fmt.Errorf("graph: root %d absent", root)
+	}
+	dist := g.BFS(root)
+	levels := make(map[int]int)
+	for _, d := range dist {
+		levels[d]++
+		if d > depth {
+			depth = d
+		}
+	}
+	// Child-count bound: the root has up to b neighbors, everyone else
+	// has a parent plus at most b children.
+	for _, u := range g.Nodes() {
+		limit := b + 1
+		if u == root {
+			limit = b
+		}
+		if g.Degree(u) > limit {
+			return 0, fmt.Errorf("graph: node %d has %d children (> %d)", u, g.Degree(u), b)
+		}
+	}
+	// Full levels: level i < depth must hold exactly b^i... except that
+	// the top of the tree can only be "complete" up to capacity; demand
+	// capacity-fullness for all levels above the last.
+	capacity := 1
+	for i := 0; i < depth; i++ {
+		if levels[i] != capacity {
+			return 0, fmt.Errorf("graph: level %d holds %d nodes, want %d", i, levels[i], capacity)
+		}
+		if capacity > g.NumNodes() { // overflow guard for big b
+			break
+		}
+		capacity *= b
+	}
+	return depth, nil
+}

@@ -1,0 +1,69 @@
+package graph
+
+import "testing"
+
+func TestIsStarCentered(t *testing.T) {
+	t.Parallel()
+	if !Star(10).IsStarCentered(0) {
+		t.Error("Star(10) not recognized")
+	}
+	if Star(10).IsStarCentered(3) {
+		t.Error("leaf accepted as center")
+	}
+	single := New()
+	single.AddNode(5)
+	if !single.IsStarCentered(5) {
+		t.Error("singleton should be a star")
+	}
+	if single.IsStarCentered(6) {
+		t.Error("absent center accepted")
+	}
+	if Line(4).IsStarCentered(1) {
+		t.Error("line accepted as star")
+	}
+	// Star plus an extra leaf-leaf edge is not a star.
+	g := Star(5)
+	g.MustAddEdge(1, 2)
+	if g.IsStarCentered(0) {
+		t.Error("star with chord accepted")
+	}
+}
+
+func TestCompleteAryTreeShape(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 3, 7, 10, 15} {
+		g := CompleteBinaryTree(n)
+		if _, err := g.CompleteAryTreeShape(0, 2); err != nil {
+			t.Errorf("CBT(%d): %v", n, err)
+		}
+	}
+	// A line of 7 rooted at an end is a valid (degenerate-free) tree
+	// but not a complete binary tree: level 1 has one node.
+	if _, err := Line(7).CompleteAryTreeShape(0, 2); err == nil {
+		t.Error("line accepted as complete binary tree")
+	}
+	// Rings are not trees.
+	if _, err := Ring(8).CompleteAryTreeShape(0, 2); err == nil {
+		t.Error("ring accepted")
+	}
+	// Branching factor below 2 is rejected.
+	if _, err := Star(3).CompleteAryTreeShape(0, 1); err == nil {
+		t.Error("b=1 accepted")
+	}
+	// Missing root.
+	if _, err := CompleteBinaryTree(7).CompleteAryTreeShape(99, 2); err == nil {
+		t.Error("absent root accepted")
+	}
+	// Depth is reported correctly.
+	if d, err := CompleteBinaryTree(15).CompleteAryTreeShape(0, 2); err != nil || d != 3 {
+		t.Errorf("depth = %d, %v; want 3", d, err)
+	}
+	// A 4-ary star is a complete 4-ary tree of depth 1.
+	if d, err := Star(5).CompleteAryTreeShape(0, 4); err != nil || d != 1 {
+		t.Errorf("4-ary star: depth %d, %v", d, err)
+	}
+	// ... but exceeds branching 3.
+	if _, err := Star(5).CompleteAryTreeShape(0, 3); err == nil {
+		t.Error("4 children accepted at b=3")
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+
+	"adnet/internal/graph"
+	"adnet/internal/temporal"
+)
+
+// Context is a node's window onto the network for the current round.
+// One Context belongs to exactly one node and must not be retained
+// beyond the current callback. All query methods read the snapshot
+// E(i) frozen at the start of the round, so they are safe to call from
+// concurrently stepped machines.
+type Context struct {
+	id   graph.ID
+	hist *temporal.History
+	env  Env
+
+	round  int
+	outbox []Message
+	acts   []graph.Edge
+	deacts []graph.Edge
+	halted bool
+	status Status
+	err    error
+}
+
+func (c *Context) beginRound(r int) {
+	c.round = r
+	c.outbox = c.outbox[:0]
+	c.acts = c.acts[:0]
+	c.deacts = c.deacts[:0]
+}
+
+// ID returns this node's UID.
+func (c *Context) ID() graph.ID { return c.id }
+
+// Round returns the current round number (1-based; 0 during Init).
+func (c *Context) Round() int { return c.round }
+
+// N returns the number of nodes, a model constant granted to nodes
+// (explicitly assumed in the paper's §5; used elsewhere only for
+// engineering-level scheduling, as documented in DESIGN.md).
+func (c *Context) N() int { return c.env.N }
+
+// Neighbors returns N1 at the start of the round, ascending.
+func (c *Context) Neighbors() []graph.ID { return c.hist.NeighborsOf(c.id) }
+
+// HasNeighbor reports whether v is currently a neighbor.
+func (c *Context) HasNeighbor(v graph.ID) bool { return c.hist.Active(c.id, v) }
+
+// Degree returns |N1|.
+func (c *Context) Degree() int { return c.hist.DegreeOf(c.id) }
+
+// IsOriginal reports whether the edge to v belongs to E(1). The
+// paper's algorithms keep original edges active until termination and
+// nodes can always distinguish them.
+func (c *Context) IsOriginal(v graph.ID) bool { return c.hist.IsOriginal(c.id, v) }
+
+// OrigNeighbors returns the node's neighbors in the initial graph Gs,
+// ascending. (Static information: a node always knows who its original
+// neighbors are.)
+func (c *Context) OrigNeighbors() []graph.ID {
+	// The initial graph never changes; read through a point query per
+	// current implementation cost is fine for the sizes involved.
+	return c.hist.InitialNeighborsOf(c.id)
+}
+
+// Send queues a message to neighbor v for delivery this round.
+func (c *Context) Send(to graph.ID, payload any) {
+	c.outbox = append(c.outbox, Message{From: c.id, To: to, Payload: payload})
+}
+
+// Broadcast queues the payload to every current neighbor.
+func (c *Context) Broadcast(payload any) {
+	for _, v := range c.Neighbors() {
+		c.Send(v, payload)
+	}
+}
+
+// Activate requests activation of edge {self, v} this round. The model
+// validates the distance-2 rule when the round is applied.
+func (c *Context) Activate(v graph.ID) {
+	if v == c.id {
+		c.fail(fmt.Errorf("sim: node %d activated a self-loop", c.id))
+		return
+	}
+	c.acts = append(c.acts, graph.NewEdge(c.id, v))
+}
+
+// Deactivate requests deactivation of edge {self, v} this round.
+func (c *Context) Deactivate(v graph.ID) {
+	if v == c.id {
+		c.fail(fmt.Errorf("sim: node %d deactivated a self-loop", c.id))
+		return
+	}
+	c.deacts = append(c.deacts, graph.NewEdge(c.id, v))
+}
+
+// SetStatus records the node's leader-election outcome.
+func (c *Context) SetStatus(s Status) { c.status = s }
+
+// Status returns the current recorded status.
+func (c *Context) Status() Status { return c.status }
+
+// Halt marks the node terminated. A halted node sends nothing,
+// receives nothing and issues no further intents; the engine stops
+// when every node has halted. Edge intents issued in the same round as
+// Halt are still applied.
+func (c *Context) Halt() { c.halted = true }
+
+// Halted reports whether the node has halted.
+func (c *Context) Halted() bool { return c.halted }
+
+func (c *Context) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}

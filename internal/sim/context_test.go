@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"adnet/internal/graph"
+)
+
+// probeMachine records context observations from inside a run.
+type probeMachine struct {
+	sawN       int
+	origNbrs   []graph.ID
+	isOrig01   bool
+	isOrigNew  bool
+	degreeAt2  int
+	haltedEdge bool
+}
+
+func (p *probeMachine) Init(ctx *Context) {
+	p.sawN = ctx.N()
+	p.origNbrs = ctx.OrigNeighbors()
+}
+
+func (p *probeMachine) Send(ctx *Context) {}
+
+func (p *probeMachine) Receive(ctx *Context, _ []Message) {
+	switch ctx.Round() {
+	case 1:
+		if ctx.ID() == 0 {
+			ctx.Activate(2) // chord via 1
+		}
+	case 2:
+		if ctx.ID() == 0 {
+			p.isOrig01 = ctx.IsOriginal(1)
+			p.isOrigNew = ctx.IsOriginal(2)
+			p.degreeAt2 = ctx.Degree()
+		}
+	default:
+		if ctx.ID() == 0 {
+			// Edge intents issued in the halting round still apply.
+			ctx.Deactivate(2)
+			p.haltedEdge = true
+		}
+		ctx.Halt()
+	}
+}
+
+func TestContextObservations(t *testing.T) {
+	t.Parallel()
+	machines := map[graph.ID]*probeMachine{}
+	res, err := Run(graph.Line(4), func(id graph.ID, env Env) Machine {
+		m := &probeMachine{}
+		machines[id] = m
+		return m
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := machines[0]
+	if m0.sawN != 4 {
+		t.Errorf("N() = %d, want 4", m0.sawN)
+	}
+	if len(m0.origNbrs) != 1 || m0.origNbrs[0] != 1 {
+		t.Errorf("OrigNeighbors = %v, want [1]", m0.origNbrs)
+	}
+	if !m0.isOrig01 {
+		t.Error("IsOriginal(1) should be true for the line edge")
+	}
+	if m0.isOrigNew {
+		t.Error("IsOriginal(2) should be false for the activated chord")
+	}
+	if m0.degreeAt2 != 2 {
+		t.Errorf("Degree at round 2 = %d, want 2 (line edge + chord)", m0.degreeAt2)
+	}
+	// The deactivation issued in the halting round must have applied.
+	if res.History.CurrentClone().HasEdge(0, 2) {
+		t.Error("edge intent from the halting round was dropped")
+	}
+}
+
+func TestContextBroadcastReachesAllNeighbors(t *testing.T) {
+	t.Parallel()
+	got := map[graph.ID]int{}
+	factory := func(id graph.ID, env Env) Machine {
+		return &countingMachine{got: got}
+	}
+	if _, err := Run(graph.Star(5), factory); err != nil {
+		t.Fatal(err)
+	}
+	// The center (0) broadcast to 4 leaves; each leaf to the center.
+	if got[0] != 4 {
+		t.Errorf("center received %d messages, want 4", got[0])
+	}
+	for leaf := graph.ID(1); leaf < 5; leaf++ {
+		if got[leaf] != 1 {
+			t.Errorf("leaf %d received %d messages, want 1", leaf, got[leaf])
+		}
+	}
+}
+
+type countingMachine struct{ got map[graph.ID]int }
+
+func (m *countingMachine) Init(*Context)     {}
+func (m *countingMachine) Send(ctx *Context) { ctx.Broadcast("ping") }
+func (m *countingMachine) Receive(ctx *Context, inbox []Message) {
+	m.got[ctx.ID()] += len(inbox)
+	ctx.Halt()
+}
+
+func TestResultLeaderHelper(t *testing.T) {
+	t.Parallel()
+	res := &Result{Statuses: map[graph.ID]Status{
+		1: StatusFollower, 2: StatusLeader, 3: StatusFollower,
+	}}
+	if l, ok := res.Leader(); !ok || l != 2 {
+		t.Errorf("Leader() = %d, %v", l, ok)
+	}
+	res.Statuses[3] = StatusLeader
+	if _, ok := res.Leader(); ok {
+		t.Error("two leaders should not be ok")
+	}
+}

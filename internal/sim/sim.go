@@ -1,0 +1,358 @@
+// Package sim is the synchronous message-passing engine for actively
+// dynamic networks (paper §2.1). Each round executes, in lock step:
+// Send → Receive → Activate → Deactivate → Update. Nodes are state
+// machines implementing Machine; the engine delivers messages over the
+// current active edge set, arbitrates edge intents through
+// temporal.History (which enforces the distance-2 rule and tracks the
+// edge-complexity measures), and detects termination.
+//
+// Node steps may run on a bounded goroutine pool, but all intents are
+// merged in ascending node order, so executions are deterministic.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"adnet/internal/graph"
+	"adnet/internal/temporal"
+)
+
+// Status is a node's self-declared leader-election outcome (§2.2).
+type Status int
+
+// Node statuses. StatusNone is the pre-decision default.
+const (
+	StatusNone Status = iota
+	StatusFollower
+	StatusLeader
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusFollower:
+		return "follower"
+	case StatusLeader:
+		return "leader"
+	default:
+		return "none"
+	}
+}
+
+// Message is a point-to-point message delivered within the round it is
+// sent. Payloads are algorithm-defined values; they are never copied or
+// encoded, matching the model's unbounded local communication.
+type Message struct {
+	From    graph.ID
+	To      graph.ID
+	Payload any
+}
+
+// Machine is a node program. Implementations must confine themselves to
+// their own state plus the Context: machines for different nodes are
+// stepped concurrently.
+type Machine interface {
+	// Init runs once before round 1; the context exposes the node's
+	// initial neighborhood.
+	Init(ctx *Context)
+	// Send runs at the start of each round; the machine queues
+	// messages to current neighbors via ctx.Send / ctx.Broadcast.
+	Send(ctx *Context)
+	// Receive runs after delivery with this round's inbox sorted by
+	// sender. Edge intents (ctx.Activate/ctx.Deactivate), status
+	// changes and local state updates belong here.
+	Receive(ctx *Context, inbox []Message)
+}
+
+// Factory builds the machine for one node. It receives the node's ID
+// and the public model constants.
+type Factory func(id graph.ID, env Env) Machine
+
+// Env carries the model constants every node is granted by the paper:
+// n (known to all nodes in §5; harmless elsewhere — machines that must
+// not rely on it simply ignore it).
+type Env struct {
+	N int
+}
+
+// ErrRoundLimit is returned when the round limit is hit before every
+// node halted.
+var ErrRoundLimit = errors.New("sim: round limit exceeded before termination")
+
+// ErrDisconnected is returned by the optional connectivity check.
+var ErrDisconnected = errors.New("sim: active graph disconnected")
+
+// RoundEvent is passed to round hooks after each completed round.
+type RoundEvent struct {
+	Round    int
+	Messages []Message // all messages delivered this round, sender-sorted per recipient
+	Stats    temporal.RoundStats
+}
+
+type config struct {
+	maxRounds    int
+	parallelism  int
+	checkConnect bool
+	hooks        []func(RoundEvent)
+	trace        bool
+}
+
+// Option configures Run.
+type Option func(*config)
+
+// WithMaxRounds caps the execution length (default 64·n + 64 rounds).
+func WithMaxRounds(r int) Option { return func(c *config) { c.maxRounds = r } }
+
+// WithParallelism sets the worker-pool size for node stepping.
+// 0 (default) picks sequential execution for small n and GOMAXPROCS
+// workers otherwise.
+func WithParallelism(p int) Option { return func(c *config) { c.parallelism = p } }
+
+// WithConnectivityCheck asserts after every round that the active graph
+// is connected, aborting with ErrDisconnected otherwise. The paper's
+// algorithms never break connectivity; this is the failure-injection
+// switch for tests.
+func WithConnectivityCheck() Option { return func(c *config) { c.checkConnect = true } }
+
+// WithRoundHook registers a callback invoked after every round with the
+// delivered messages and round statistics (used by the lower-bound
+// instrumentation in internal/bounds).
+func WithRoundHook(fn func(RoundEvent)) Option {
+	return func(c *config) { c.hooks = append(c.hooks, fn) }
+}
+
+// WithTrace records full per-round edge lists in the History.
+func WithTrace() Option { return func(c *config) { c.trace = true } }
+
+// Result is the outcome of an execution.
+type Result struct {
+	History  *temporal.History
+	Metrics  temporal.Metrics
+	Rounds   int
+	Statuses map[graph.ID]Status
+	Machines map[graph.ID]Machine
+	// TotalMessages counts every delivered point-to-point message; the
+	// paper does not bound communication (unlike the overlay-network
+	// models of §1.4), but the measure makes the comparison concrete.
+	TotalMessages int
+	// MaxMessagesPerRound is the peak per-round message volume.
+	MaxMessagesPerRound int
+}
+
+// Leader returns the unique node with StatusLeader, or (-1, false) if
+// there is not exactly one.
+func (r *Result) Leader() (graph.ID, bool) {
+	leader := graph.ID(-1)
+	count := 0
+	for id, s := range r.Statuses {
+		if s == StatusLeader {
+			leader = id
+			count++
+		}
+	}
+	return leader, count == 1
+}
+
+// Run executes the distributed algorithm produced by factory on the
+// initial graph gs until every node halts or the round limit is hit.
+//
+// On a runtime failure (model violation, round limit, connectivity
+// check) Run returns the partial Result alongside the error so callers
+// can post-mortem the history; on setup errors the Result is nil.
+func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
+	n := gs.NumNodes()
+	if n == 0 {
+		return nil, errors.New("sim: empty initial graph")
+	}
+	if !gs.IsConnected() {
+		return nil, errors.New("sim: initial graph must be connected")
+	}
+	cfg := config{maxRounds: 64*n + 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.parallelism
+	if workers <= 0 {
+		if n >= 512 {
+			workers = runtime.GOMAXPROCS(0)
+		} else {
+			workers = 1
+		}
+	}
+
+	hist := temporal.NewHistory(gs)
+	if cfg.trace {
+		hist.EnableTrace()
+	}
+	ids := gs.Nodes()
+	index := make(map[graph.ID]int, n)
+	for i, id := range ids {
+		index[id] = i
+	}
+	env := Env{N: n}
+	ctxs := make([]*Context, n)
+	machines := make([]Machine, n)
+	for i, id := range ids {
+		ctxs[i] = &Context{id: id, hist: hist, env: env}
+		machines[i] = factory(id, env)
+		if machines[i] == nil {
+			return nil, fmt.Errorf("sim: factory returned nil machine for node %d", id)
+		}
+	}
+
+	// Init phase.
+	for i := range machines {
+		ctxs[i].round = 0
+		machines[i].Init(ctxs[i])
+	}
+
+	checkCtxErrs := func() error {
+		for i := range ctxs {
+			if ctxs[i].err != nil {
+				return ctxs[i].err
+			}
+		}
+		return nil
+	}
+
+	inboxes := make([][]Message, n)
+	totalMsgs, maxMsgs := 0, 0
+	for round := 1; round <= cfg.maxRounds; round++ {
+		// --- Send ---
+		runPhase(workers, n, func(i int) {
+			ctx := ctxs[i]
+			ctx.beginRound(round)
+			if ctx.halted {
+				return
+			}
+			machines[i].Send(ctx)
+		})
+		if err := checkCtxErrs(); err != nil {
+			return finish(hist, ids, ctxs, machines, round), err
+		}
+		for i := range inboxes {
+			inboxes[i] = inboxes[i][:0]
+		}
+		var delivered []Message
+		for i := range ctxs {
+			for _, m := range ctxs[i].outbox {
+				if !hist.Active(m.From, m.To) {
+					return finish(hist, ids, ctxs, machines, round),
+						fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", round, m.From, m.To)
+				}
+				inboxes[index[m.To]] = append(inboxes[index[m.To]], m)
+			}
+		}
+		roundMsgs := 0
+		for i := range inboxes {
+			roundMsgs += len(inboxes[i])
+		}
+		totalMsgs += roundMsgs
+		if roundMsgs > maxMsgs {
+			maxMsgs = roundMsgs
+		}
+		// Inboxes are already sender-sorted: senders are processed in
+		// ascending node order and each sender's messages keep their
+		// queueing order.
+		if len(cfg.hooks) > 0 {
+			for i := range inboxes {
+				delivered = append(delivered, inboxes[i]...)
+			}
+		}
+
+		// --- Receive + intents ---
+		runPhase(workers, n, func(i int) {
+			ctx := ctxs[i]
+			if ctx.halted {
+				return
+			}
+			machines[i].Receive(ctx, inboxes[i])
+		})
+		if err := checkCtxErrs(); err != nil {
+			return finish(hist, ids, ctxs, machines, round), err
+		}
+
+		// --- Activate / Deactivate ---
+		var acts, deacts []graph.Edge
+		for i := range ctxs {
+			acts = append(acts, ctxs[i].acts...)
+			deacts = append(deacts, ctxs[i].deacts...)
+		}
+		stats, err := hist.Apply(acts, deacts)
+		if err != nil {
+			return finish(hist, ids, ctxs, machines, round), err
+		}
+		if cfg.checkConnect && !hist.CurrentClone().IsConnected() {
+			return finish(hist, ids, ctxs, machines, round),
+				fmt.Errorf("%w after round %d", ErrDisconnected, round)
+		}
+		for _, hook := range cfg.hooks {
+			hook(RoundEvent{Round: round, Messages: delivered, Stats: stats})
+		}
+
+		allHalted := true
+		for i := range ctxs {
+			if !ctxs[i].halted {
+				allHalted = false
+				break
+			}
+		}
+		if allHalted {
+			res := finish(hist, ids, ctxs, machines, round)
+			res.TotalMessages, res.MaxMessagesPerRound = totalMsgs, maxMsgs
+			return res, nil
+		}
+	}
+	return finish(hist, ids, ctxs, machines, cfg.maxRounds),
+		fmt.Errorf("%w (limit %d)", ErrRoundLimit, cfg.maxRounds)
+}
+
+func finish(hist *temporal.History, ids []graph.ID, ctxs []*Context, machines []Machine, rounds int) *Result {
+	res := &Result{
+		History:  hist,
+		Metrics:  hist.Metrics(),
+		Rounds:   rounds,
+		Statuses: make(map[graph.ID]Status, len(ids)),
+		Machines: make(map[graph.ID]Machine, len(ids)),
+	}
+	for i, id := range ids {
+		res.Statuses[id] = ctxs[i].status
+		res.Machines[id] = machines[i]
+	}
+	return res
+}
+
+// runPhase steps all n node slots through fn, sequentially or on a
+// bounded worker pool; all workers are awaited before returning.
+// Errors are recorded per-Context and surfaced by the caller, which
+// keeps execution deterministic regardless of scheduling.
+func runPhase(workers, n int, fn func(i int)) {
+	if workers <= 1 || n < 2*workers {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,97 @@
+package subroutine
+
+import (
+	"math/bits"
+
+	"adnet/internal/graph"
+)
+
+// EmbeddedConfig builds a single LineToTree node for embedding inside
+// a larger protocol — GraphToWreath and GraphToThinWreath run the
+// line-to-tree rebuild as a window of their phase, delegating Send and
+// Receive to an embedded instance.
+type EmbeddedConfig struct {
+	Self      graph.ID
+	Branching int
+	// Parent is the neighbor toward the line root; ignored if IsRoot.
+	Parent graph.ID
+	IsRoot bool
+	// Child is the neighbor away from the root, if any.
+	Child    graph.ID
+	HasChild bool
+	// StartRound is the first absolute engine round of the window; the
+	// node acts from that round on.
+	StartRound int
+	// SizeBound is an upper bound on the line length, fixing the
+	// budget (window length) identically at every node.
+	SizeBound int
+	// KeepEdge, if set, names edges that must never be physically
+	// deactivated (the host's ring and original edges); the logical
+	// counter discipline proceeds regardless.
+	KeepEdge func(peer graph.ID) bool
+}
+
+// EmbeddedWindow returns the number of rounds an embedded rebuild
+// window needs for the given size bound and branching: the binary
+// build plus the compression stage.
+func EmbeddedWindow(sizeBound, branching int) int {
+	stage1 := 4*(bits.Len(uint(sizeBound))+3) + 8
+	return stage1 + 2*adoptK(branching) + 4
+}
+
+// adoptK is the number of adopt-grandchildren compression rounds for
+// branching b: the largest k whose root child count 2^(2^k+1)-2 still
+// respects b.
+func adoptK(b int) int {
+	k := 0
+	for rootCC := 6; b >= rootCC; rootCC = (rootCC+2)*(rootCC+2)/2 - 2 {
+		k++
+	}
+	return k
+}
+
+// NewEmbedded constructs a LineToTree node outside the factory path.
+// The caller is responsible for invoking Send and Receive during
+// [StartRound, StartRound+EmbeddedWindow) and may read the final tree
+// via FinalParent/FinalChildren afterwards. The embedded node never
+// halts the hosting machine.
+func NewEmbedded(cfg EmbeddedConfig) *LineToTree {
+	base := cfg.StartRound - 1
+	stage1 := 4*(bits.Len(uint(cfg.SizeBound))+3) + 8
+	lt := &LineToTree{
+		b:         cfg.Branching,
+		wake:      base,
+		budget:    base + stage1 + 2*adoptK(cfg.Branching) + 4,
+		stage1End: base + stage1,
+		adoptK:    adoptK(cfg.Branching),
+		selfID:    cfg.Self,
+		isRoot:    cfg.IsRoot,
+		parent:    cfg.Parent,
+		childEA:   make(map[graph.ID]int),
+		heard:     make(map[graph.ID]treeMsg),
+		inflight:  make(map[graph.ID]map[graph.ID]bool),
+		embedded:  true,
+		keep:      cfg.KeepEdge,
+	}
+	if cfg.IsRoot {
+		lt.parent = cfg.Self
+	}
+	if cfg.HasChild {
+		lt.children = append(lt.children, cfg.Child)
+		lt.childEA[cfg.Child] = 0
+	}
+	return lt
+}
+
+// FinalParent returns the node's current tree parent and whether it is
+// the root. Meaningful once the rebuild window has ended.
+func (m *LineToTree) FinalParent() (graph.ID, bool) { return m.parent, m.isRoot }
+
+// FinalChildren returns the node's current children in attach order.
+func (m *LineToTree) FinalChildren() []graph.ID {
+	return append([]graph.ID(nil), m.children...)
+}
+
+// Done reports whether the window budget has passed at the given
+// absolute round.
+func (m *LineToTree) Done(round int) bool { return round >= m.budget }

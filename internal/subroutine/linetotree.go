@@ -1,0 +1,460 @@
+package subroutine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+)
+
+// treeMsg is the per-round state broadcast of LineToTree nodes. All
+// fields describe the sender at the beginning of the round; the
+// Parent*/Old* fields forward the sender's latest knowledge about its
+// own (old) parent, which is what lets a node reason about its
+// grandparent without being adjacent to it.
+type treeMsg struct {
+	EA, DEA   int
+	HasParent bool
+	Parent    graph.ID
+	Children  []graph.ID // attach order; index 0 is the firstborn
+
+	ParentCC     int // grandparent child count (in-flight corrected); -1 unknown
+	AmFirstChild bool
+	ParentAwake  bool
+
+	HasOld        bool
+	OldParent     graph.ID
+	OldParentCC   int // -1 unknown
+	OldParentWake bool
+	// LadderPending is true while the sender still expects one of its
+	// children to climb through its retained old-parent edge; the old
+	// parent must not release its own ladder before that climb lands.
+	LadderPending bool
+}
+
+// LineToTree is the §2.3 / Appendix B subroutine family: it transforms
+// an oriented line (every node knows its parent, the neighbor closer
+// to the root) into a complete b-ary tree rooted at the line's
+// endpoint.
+//
+//   - b == 2 is LineToCompleteBinaryTree (Proposition 2.2).
+//   - b == ⌈log2 n⌉ is LineToCompletePolylogarithmicTree (§5).
+//
+// The machine follows the Appendix B discipline: odd rounds activate,
+// even rounds deactivate, and per-node counters EA (edges activated)
+// and DEA (edges deactivated) gate every action. A node u with parent
+// v climbs by one of three moves, all with witness path u–v–target:
+//
+//   - aligned (EA_v == EA_u): hop to v's current parent — the
+//     synchronous doubling step;
+//   - ladder (EA_v == EA_u + 1): hop to v's old, not-yet-deactivated
+//     parent. This is why the model retains the previous parent edge:
+//     it is the ladder a lagging child climbs through (the condition
+//     EA_x = DEA_u + 1 in the paper's deactivation rule is precisely
+//     "my child has used the ladder");
+//   - catch-up (EA_v < EA_u): hop past a permanently stopped parent
+//     (e.g. a child of the root) to its current parent.
+//
+// Every move additionally requires the node to be its parent's
+// firstborn, the target's child count (forwarded, corrected by
+// departures in flight) to be below b, and the node's own ladder to be
+// clean (DEA_u == EA_u). The handshake keeps |EA_u − EA_v| ≤ 1, so the
+// three cases are exhaustive.
+//
+// The synchronous subroutine is the special case in which every node
+// wakes at round 0; arbitrary wake rounds give the asynchronous
+// variant, whose final edge set must equal the synchronous one
+// (Lemma B.4) — enforced by property tests.
+type LineToTree struct {
+	b         int
+	wake      int
+	budget    int
+	stage1End int // last round of the binary build; compression follows
+	adoptK    int // number of adopt-grandchildren compression rounds
+	selfID    graph.ID
+	embedded  bool                     // hosted by a larger machine: never halt the node
+	keep      func(peer graph.ID) bool // edges exempt from physical deactivation
+
+	isRoot    bool
+	parent    graph.ID
+	oldParent graph.ID
+	hasOld    bool
+	ea, dea   int
+
+	children []graph.ID // attach order
+	childEA  map[graph.ID]int
+	heard    map[graph.ID]treeMsg
+
+	// inflight records departed children by the parent they claimed,
+	// until that parent's broadcast child list includes them. It makes
+	// the forwarded child counts immune to the one-round lag between
+	// an arrival's hop and the target learning of it.
+	inflight map[graph.ID]map[graph.ID]bool
+}
+
+var _ sim.Machine = (*LineToTree)(nil)
+
+// LineToTreeOptions configures NewLineToTreeFactory.
+type LineToTreeOptions struct {
+	// Branching is the target arity b (>= 2).
+	Branching int
+	// Parents orients the initial line: each node maps to its
+	// neighbor on the root side; the root maps to itself.
+	Parents map[graph.ID]graph.ID
+	// Wake optionally delays nodes (asynchronous variant). Nil or
+	// missing entries mean round 0.
+	Wake map[graph.ID]int
+	// Budget overrides the computed round budget (0 = automatic).
+	Budget int
+}
+
+// NewLineToTreeFactory validates the options and returns the factory.
+func NewLineToTreeFactory(opts LineToTreeOptions) (sim.Factory, error) {
+	if opts.Branching < 2 {
+		return nil, fmt.Errorf("subroutine: branching %d < 2", opts.Branching)
+	}
+	if len(opts.Parents) == 0 {
+		return nil, fmt.Errorf("subroutine: empty parent map")
+	}
+	roots := 0
+	for u, p := range opts.Parents {
+		if u == p {
+			roots++
+		}
+	}
+	if roots != 1 {
+		return nil, fmt.Errorf("subroutine: parent map has %d roots, want 1", roots)
+	}
+	m := len(opts.Parents)
+	maxWake := 0
+	for _, w := range opts.Wake {
+		if w > maxWake {
+			maxWake = w
+		}
+	}
+	// Stage 1 (binary build): ~2 rounds per hop level with
+	// ⌈log2 m⌉+O(1) levels, doubled for ladder interleaving, plus wake
+	// skew and slack. Stage 2 (compression, b > 2 only): k rounds of
+	// grandchild adoption, each halving the depth and squaring the
+	// branching — k is the largest value whose root child count
+	// 2^(2^k + 1) − 2 still respects b. This is the log log n lever of
+	// §5: depth drops from log m to ~log m / log b.
+	stage1End := 4*(bits.Len(uint(m))+3) + maxWake + 8
+	k := adoptK(opts.Branching)
+	budget := opts.Budget
+	if budget == 0 {
+		budget = stage1End + 2*k + 4
+	}
+	// Initial children: invert the parent map, giving each node its
+	// unique line child (the neighbor away from the root).
+	childOf := make(map[graph.ID]graph.ID, m)
+	for u, p := range opts.Parents {
+		if u != p {
+			childOf[p] = u
+		}
+	}
+	return func(id graph.ID, _ sim.Env) sim.Machine {
+		lt := &LineToTree{
+			b:         opts.Branching,
+			wake:      opts.Wake[id],
+			budget:    budget,
+			stage1End: stage1End,
+			adoptK:    k,
+			isRoot:    opts.Parents[id] == id,
+			parent:    opts.Parents[id],
+			childEA:   make(map[graph.ID]int),
+			heard:     make(map[graph.ID]treeMsg),
+			inflight:  make(map[graph.ID]map[graph.ID]bool),
+		}
+		if c, ok := childOf[id]; ok {
+			lt.children = append(lt.children, c)
+			lt.childEA[c] = 0
+		}
+		return lt
+	}, nil
+}
+
+// Init implements sim.Machine.
+func (m *LineToTree) Init(ctx *sim.Context) {
+	m.selfID = ctx.ID()
+	if m.isRoot {
+		ctx.SetStatus(sim.StatusLeader)
+	} else {
+		ctx.SetStatus(sim.StatusFollower)
+	}
+}
+
+// Send implements sim.Machine.
+func (m *LineToTree) Send(ctx *sim.Context) {
+	if ctx.Round() <= m.wake {
+		return // still asleep
+	}
+	msg := treeMsg{
+		EA:        m.ea,
+		DEA:       m.dea,
+		HasParent: !m.isRoot,
+		Parent:    m.parent,
+		Children:  append([]graph.ID(nil), m.children...),
+		ParentCC:  -1, OldParentCC: -1,
+		HasOld:    m.hasOld,
+		OldParent: m.oldParent,
+	}
+	if m.hasOld {
+		for _, c := range m.children {
+			ea, known := m.childEA[c]
+			if !known || ea <= m.dea {
+				msg.LadderPending = true
+				break
+			}
+		}
+	}
+	if !m.isRoot {
+		if st, ok := m.heard[m.parent]; ok {
+			msg.ParentAwake = true
+			msg.ParentCC = m.correctedCC(m.parent, st.Children)
+			msg.AmFirstChild = len(st.Children) > 0 && st.Children[0] == m.selfID
+		}
+	}
+	if m.hasOld {
+		if st, ok := m.heard[m.oldParent]; ok {
+			msg.OldParentWake = true
+			msg.OldParentCC = m.correctedCC(m.oldParent, st.Children)
+		}
+	}
+	ctx.Broadcast(msg)
+}
+
+// correctedCC returns the child count of node t given its broadcast
+// child list, adding departures of our own children toward t that t
+// has not yet registered.
+func (m *LineToTree) correctedCC(t graph.ID, listed []graph.ID) int {
+	pending := m.inflight[t]
+	if len(pending) == 0 {
+		return len(listed)
+	}
+	inList := make(map[graph.ID]bool, len(listed))
+	for _, c := range listed {
+		inList[c] = true
+	}
+	cc := len(listed)
+	for c := range pending {
+		if inList[c] {
+			delete(pending, c) // registered: stop correcting
+		} else {
+			cc++
+		}
+	}
+	return cc
+}
+
+// Receive implements sim.Machine.
+func (m *LineToTree) Receive(ctx *sim.Context, inbox []sim.Message) {
+	round := ctx.Round()
+	if round >= m.budget {
+		if !m.embedded {
+			ctx.Halt()
+		}
+		return
+	}
+	if round <= m.wake {
+		return // asleep: ignore everything, touch nothing
+	}
+
+	clear(m.heard)
+	for _, msg := range inbox {
+		if st, ok := msg.Payload.(treeMsg); ok {
+			m.heard[msg.From] = st
+		}
+	}
+	m.refreshChildren()
+
+	if round > m.stage1End {
+		// Stage 2 (b > 2): compression. Every node with a grandparent
+		// hops to it — one TreeToStar-style step per adoption slot —
+		// which halves the depth and squares the branching.
+		t := round - m.stage1End
+		if t%2 == 0 && t/2 <= m.adoptK {
+			m.adoptHop(ctx)
+		}
+		return
+	}
+
+	if round%2 == 1 {
+		m.maybeActivate(ctx)
+	} else {
+		m.maybeDeactivate(ctx)
+	}
+}
+
+// adoptHop performs one depth-halving step: climb to the grandparent
+// and release the parent edge, exactly like TreeToStar but bounded to
+// adoptK repetitions.
+func (m *LineToTree) adoptHop(ctx *sim.Context) {
+	if m.isRoot {
+		return
+	}
+	v, ok := m.heard[m.parent]
+	if !ok || !v.HasParent || v.Parent == m.selfID {
+		return // parent is the root: already at depth 1
+	}
+	ctx.Activate(v.Parent)
+	if m.keep == nil || !m.keep(m.parent) {
+		ctx.Deactivate(m.parent)
+	}
+	m.parent = v.Parent
+}
+
+// refreshChildren integrates this round's parent claims: a node is our
+// child exactly while it declares us as its parent. Asleep children
+// (no broadcast yet) stay listed — silence is not departure.
+func (m *LineToTree) refreshChildren() {
+	kept := m.children[:0]
+	for _, c := range m.children {
+		st, ok := m.heard[c]
+		if ok && (!st.HasParent || st.Parent != m.selfID) {
+			delete(m.childEA, c)
+			// Track the departure for child-count correction.
+			if st.HasParent {
+				if m.inflight[st.Parent] == nil {
+					m.inflight[st.Parent] = make(map[graph.ID]bool)
+				}
+				m.inflight[st.Parent][c] = true
+			}
+			continue
+		}
+		if ok {
+			m.childEA[c] = st.EA
+		}
+		kept = append(kept, c)
+	}
+	m.children = kept
+	// Append new claimants in deterministic (ascending sender) order.
+	for _, from := range sortedKeys(m.heard) {
+		st := m.heard[from]
+		if st.HasParent && st.Parent == m.selfID && !m.hasChild(from) {
+			m.children = append(m.children, from)
+			m.childEA[from] = st.EA
+		}
+	}
+}
+
+func (m *LineToTree) maybeActivate(ctx *sim.Context) {
+	if m.isRoot || m.dea != m.ea {
+		return // dirty ladder: the old parent edge must go first
+	}
+	v, ok := m.heard[m.parent] // parent must be awake this round
+	if !ok {
+		return
+	}
+	if len(v.Children) == 0 || v.Children[0] != m.selfID {
+		return // only the firstborn climbs
+	}
+
+	var target graph.ID
+	var targetCC int
+	switch {
+	case v.EA == m.ea:
+		// Aligned: synchronous doubling step to v's current parent.
+		if !v.HasParent || !v.ParentAwake || !v.AmFirstChild {
+			return
+		}
+		target, targetCC = v.Parent, v.ParentCC
+	case v.EA == m.ea+1:
+		// Ladder: climb through v's retained old parent edge.
+		if !v.HasOld || !v.OldParentWake {
+			return
+		}
+		target, targetCC = v.OldParent, v.OldParentCC
+	default:
+		// v is behind (EA_v < EA_u): wait for it to catch up — the
+		// positional invariant of Lemma B.4 forbids overtaking.
+		return
+	}
+	if targetCC < 0 || targetCC >= 2 {
+		return // unknown or full grandparent (stage 1 is binary)
+	}
+	if target == m.selfID {
+		return // degenerate two-node corner: nothing above to climb
+	}
+	ctx.Activate(target)
+	m.oldParent = m.parent
+	m.hasOld = true
+	m.parent = target
+	m.ea++
+}
+
+var debugNode graph.ID = -1
+
+func (m *LineToTree) maybeDeactivate(ctx *sim.Context) {
+	dbg := m.selfID == debugNode
+	if !m.hasOld || m.ea != m.dea+1 {
+		if dbg {
+			println("r", ctx.Round(), "no-old-or-misaligned", m.hasOld, m.ea, m.dea)
+		}
+		return
+	}
+	// Children at EA == DEA_u may still need the old edge as the
+	// ladder for their next hop (their climb target IS our old
+	// parent); cut only once every child has climbed past it
+	// (EA_x >= DEA_u + 1, the paper's EA_x = DEA_u + 1 condition
+	// generalized to several children). Unknown (asleep) children
+	// block conservatively.
+	for _, c := range m.children {
+		ea, ok := m.childEA[c]
+		if !ok || ea <= m.dea {
+			if dbg {
+				println("r", ctx.Round(), "child-block", int(c), ea, ok)
+			}
+			return
+		}
+	}
+	// A neighbor that still holds its own pending ladder INTO us can
+	// deliver a late-arriving child (a lagging descendant climbs
+	// through that retained edge and lands here needing our ladder
+	// next) — and a silent neighbor might be exactly that, still
+	// asleep. Both block the cut; this is the message-passing
+	// realization of the paper's "u, v, x are awake" guard.
+	for _, nb := range ctx.Neighbors() {
+		st, heardNb := m.heard[nb]
+		if !heardNb {
+			if dbg {
+				println("r", ctx.Round(), "silent-block", int(nb))
+			}
+			return
+		}
+		if st.HasOld && st.OldParent == m.selfID && st.LadderPending {
+			if dbg {
+				println("r", ctx.Round(), "inladder-block", int(nb))
+			}
+			return
+		}
+	}
+	if m.keep == nil || !m.keep(m.oldParent) {
+		ctx.Deactivate(m.oldParent)
+	}
+	m.hasOld = false
+	m.dea++
+}
+
+func (m *LineToTree) hasChild(id graph.ID) bool {
+	for _, c := range m.children {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(ms map[graph.ID]treeMsg) []graph.ID {
+	out := make([]graph.ID, 0, len(ms))
+	for k := range ms {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package subroutine
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+	"adnet/internal/tasks"
+)
+
+// lineParents orients graph.Line(m) toward root m-1.
+func lineParents(m int) map[graph.ID]graph.ID {
+	parents := make(map[graph.ID]graph.ID, m)
+	for i := 0; i < m-1; i++ {
+		parents[graph.ID(i)] = graph.ID(i + 1)
+	}
+	parents[graph.ID(m-1)] = graph.ID(m - 1)
+	return parents
+}
+
+func TestTreeToStarOnLine(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 2, 3, 4, 7, 16, 33, 100, 257} {
+		parents := lineParents(n)
+		res, err := sim.Run(graph.Line(n), NewTreeToStarFactory(parents),
+			sim.WithConnectivityCheck())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		root := graph.ID(n - 1)
+		final := res.History.CurrentClone()
+		if !final.IsStarCentered(root) {
+			t.Fatalf("n=%d: final graph is not a star centered at %d: %v", n, root, final)
+		}
+		if leader, ok := res.Leader(); !ok || leader != root {
+			t.Fatalf("n=%d: leader = %v, %v", n, leader, ok)
+		}
+		// Proposition 2.1: ⌈log d⌉ rounds plus O(1) for the TERM wave.
+		d := n - 1
+		want := bits.Len(uint(d)) + 3
+		if res.Rounds > want {
+			t.Fatalf("n=%d: %d rounds, want <= ⌈log d⌉+3 = %d", n, res.Rounds, want)
+		}
+		if res.Metrics.MaxActiveEdges > 2*n-3 && n > 2 {
+			t.Fatalf("n=%d: max active edges %d > 2n-3 = %d", n, res.Metrics.MaxActiveEdges, 2*n-3)
+		}
+	}
+}
+
+func TestTreeToStarOnRandomTrees(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 15; i++ {
+		n := 2 + rng.Intn(150)
+		g := graph.RandomTree(n, rng)
+		root := g.MaxID()
+		parents, ok := g.SpanningTree(root)
+		if !ok {
+			t.Fatalf("spanning tree failed")
+		}
+		res, err := sim.Run(g, NewTreeToStarFactory(parents), sim.WithConnectivityCheck())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.History.CurrentClone().IsStarCentered(root) {
+			t.Fatalf("n=%d: not a star", n)
+		}
+		d := graph.TreeDepth(parents)
+		if d > 0 && res.Rounds > bits.Len(uint(d))+3 {
+			t.Fatalf("n=%d depth=%d: %d rounds", n, d, res.Rounds)
+		}
+	}
+}
+
+func TestTreeToStarOnCaterpillar(t *testing.T) {
+	t.Parallel()
+	g := graph.Caterpillar(40, 3)
+	root := graph.ID(39) // far end of the spine
+	parents, ok := g.SpanningTree(root)
+	if !ok {
+		t.Fatal("spanning tree failed")
+	}
+	res, err := sim.Run(g, NewTreeToStarFactory(parents), sim.WithConnectivityCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.History.CurrentClone().IsStarCentered(root) {
+		t.Fatal("caterpillar did not collapse to a star")
+	}
+}
+
+func TestTreeToStarEdgeComplexity(t *testing.T) {
+	t.Parallel()
+	n := 512
+	res, err := sim.Run(graph.Line(n), NewTreeToStarFactory(lineParents(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	// O(n log n) total activations: each node hops at most ⌈log n⌉ times.
+	bound := n * (bits.Len(uint(n)) + 1)
+	if m.TotalActivations > bound {
+		t.Fatalf("total activations %d > n·⌈log n⌉ %d", m.TotalActivations, bound)
+	}
+	if m.TotalActivations < n-2 {
+		t.Fatalf("suspiciously few activations: %d", m.TotalActivations)
+	}
+	if m.MaxActiveEdges > 2*n-3 {
+		t.Fatalf("max active edges %d > %d", m.MaxActiveEdges, 2*n-3)
+	}
+}
+
+func runLineToTree(t *testing.T, m, b int, wake map[graph.ID]int) *sim.Result {
+	t.Helper()
+	factory, err := NewLineToTreeFactory(LineToTreeOptions{
+		Branching: b,
+		Parents:   lineParents(m),
+		Wake:      wake,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(graph.Line(m), factory, sim.WithConnectivityCheck())
+	if err != nil {
+		t.Fatalf("m=%d b=%d: %v", m, b, err)
+	}
+	return res
+}
+
+func TestLineToCompleteBinaryTreeShapes(t *testing.T) {
+	t.Parallel()
+	for m := 1; m <= 130; m++ {
+		res := runLineToTree(t, m, 2, nil)
+		final := res.History.CurrentClone()
+		root := graph.ID(m - 1)
+		depth, err := final.CompleteAryTreeShape(root, 2)
+		if err != nil {
+			t.Fatalf("m=%d: %v (edges %v)", m, err, final.Edges())
+		}
+		if want := bits.Len(uint(m)) - 1; depth != want {
+			t.Fatalf("m=%d: depth %d, want %d", m, depth, want)
+		}
+	}
+}
+
+func TestLineToCompleteBinaryTreeComplexity(t *testing.T) {
+	t.Parallel()
+	for _, m := range []int{64, 256, 1024} {
+		res := runLineToTree(t, m, 2, nil)
+		met := res.Metrics
+		// Proposition 2.2: ⌈log d⌉ hop levels; our cadence spends 2
+		// rounds per level plus constant startup and ladder releases.
+		// Rounds runs to the fixed budget; the structure is done at
+		// LastActivityRound.
+		if met.LastActivityRound > 3*bits.Len(uint(m))+12 {
+			t.Fatalf("m=%d: activity until round %d", m, met.LastActivityRound)
+		}
+		if met.MaxActiveEdges > 2*m-3 {
+			t.Fatalf("m=%d: max active edges %d > 2m-3", m, met.MaxActiveEdges)
+		}
+		// Bounded degree (Prop 2.2: at most 4).
+		if met.MaxActivatedDegree > 4 {
+			t.Fatalf("m=%d: max activated degree %d > 4", m, met.MaxActivatedDegree)
+		}
+		if met.TotalActivations > m*bits.Len(uint(m)) {
+			t.Fatalf("m=%d: activations %d > m log m", m, met.TotalActivations)
+		}
+	}
+}
+
+// adoptRounds mirrors the factory's compression-depth choice: the
+// largest k whose root child count 2^(2^k+1)-2 still respects b.
+func adoptRounds(b int) int {
+	k := 0
+	for rootCC := 6; b >= rootCC; rootCC = (rootCC+2)*(rootCC+2)/2 - 2 {
+		k++
+	}
+	return k
+}
+
+func TestLineToPolylogTreeShapes(t *testing.T) {
+	t.Parallel()
+	for _, b := range []int{3, 4, 8, 16} {
+		for _, m := range []int{1, 2, 5, 9, 17, 40, 81, 150, 301} {
+			res := runLineToTree(t, m, b, nil)
+			final := res.History.CurrentClone()
+			root := graph.ID(m - 1)
+			if !final.IsTree() {
+				t.Fatalf("m=%d b=%d: not a tree", m, b)
+			}
+			// Depth: the binary build reaches ⌈log2(m+1)⌉-1, then each
+			// of the k compression rounds halves it.
+			binDepth := bits.Len(uint(m)) - 1
+			wantDepth := binDepth
+			for k := adoptRounds(b); k > 0; k-- {
+				wantDepth = (wantDepth + 1) / 2
+			}
+			if depth := final.Eccentricity(root); depth > wantDepth {
+				t.Fatalf("m=%d b=%d: depth %d > %d", m, b, depth, wantDepth)
+			}
+			// Branching: every node at most b children.
+			for _, u := range final.Nodes() {
+				limit := b + 1
+				if u == root {
+					limit = b
+				}
+				if final.Degree(u) > limit {
+					t.Fatalf("m=%d b=%d: node %d has degree %d (> b)", m, b, u, final.Degree(u))
+				}
+			}
+		}
+	}
+}
+
+func TestPolylogTreeDiameterShrinks(t *testing.T) {
+	t.Parallel()
+	m := 600
+	resBin := runLineToTree(t, m, 2, nil)
+	resPoly := runLineToTree(t, m, 10, nil)
+	dBin := resBin.History.CurrentClone().Eccentricity(graph.ID(m - 1))
+	dPoly := resPoly.History.CurrentClone().Eccentricity(graph.ID(m - 1))
+	if dPoly >= dBin {
+		t.Fatalf("polylog tree depth %d should beat binary depth %d", dPoly, dBin)
+	}
+	if dPoly > (dBin+1)/2 { // one compression round for b=10
+		t.Fatalf("b=10 depth %d, want <= %d", dPoly, (dBin+1)/2)
+	}
+}
+
+// Lemma B.4: the asynchronous execution produces exactly the edge set
+// of the synchronous one, for any wake schedule.
+func TestAsyncMatchesSyncProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, rawM uint8, rawMaxWake uint8) bool {
+		m := int(rawM)%90 + 1
+		maxWake := int(rawMaxWake) % 12
+		rng := rand.New(rand.NewSource(seed))
+		wake := make(map[graph.ID]int, m)
+		for i := 0; i < m; i++ {
+			wake[graph.ID(i)] = rng.Intn(maxWake + 1)
+		}
+		syncFactory, err := NewLineToTreeFactory(LineToTreeOptions{Branching: 2, Parents: lineParents(m)})
+		if err != nil {
+			return false
+		}
+		asyncFactory, err := NewLineToTreeFactory(LineToTreeOptions{Branching: 2, Parents: lineParents(m), Wake: wake})
+		if err != nil {
+			return false
+		}
+		syncRes, err := sim.Run(graph.Line(m), syncFactory)
+		if err != nil {
+			return false
+		}
+		asyncRes, err := sim.Run(graph.Line(m), asyncFactory)
+		if err != nil {
+			return false
+		}
+		return tasks.SameEdges(syncRes.History.CurrentClone(), asyncRes.History.CurrentClone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncStaggeredWakeStillCompletes(t *testing.T) {
+	t.Parallel()
+	// Adversarial schedule: nodes wake in reverse line order.
+	m := 64
+	wake := make(map[graph.ID]int, m)
+	for i := 0; i < m; i++ {
+		wake[graph.ID(i)] = (m - 1 - i) % 16
+	}
+	res := runLineToTree(t, m, 2, wake)
+	if _, err := res.History.CurrentClone().CompleteAryTreeShape(graph.ID(m-1), 2); err != nil {
+		t.Fatalf("staggered wake broke the tree: %v", err)
+	}
+}
+
+func TestLineToTreeFactoryValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewLineToTreeFactory(LineToTreeOptions{Branching: 1, Parents: lineParents(3)}); err == nil {
+		t.Error("branching 1 accepted")
+	}
+	if _, err := NewLineToTreeFactory(LineToTreeOptions{Branching: 2}); err == nil {
+		t.Error("empty parents accepted")
+	}
+	bad := lineParents(4)
+	bad[0] = 0 // second root
+	if _, err := NewLineToTreeFactory(LineToTreeOptions{Branching: 2, Parents: bad}); err == nil {
+		t.Error("two roots accepted")
+	}
+}
+
+func TestLineToTreeElectsRootLeader(t *testing.T) {
+	t.Parallel()
+	res := runLineToTree(t, 33, 2, nil)
+	leader, ok := res.Leader()
+	if !ok || leader != 32 {
+		t.Fatalf("leader = %v, %v; want 32, true", leader, ok)
+	}
+}

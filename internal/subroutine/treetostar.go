@@ -1,0 +1,119 @@
+// Package subroutine implements the paper's basic building blocks
+// (§2.3, Appendices A and B): TreeToStar and the Line-To-Complete-
+// Binary-Tree family, including the asynchronous variant driven by the
+// EA/DEA counters of Appendix B and the polylogarithmic-branching
+// variant used by GraphToThinWreath (§5).
+//
+// All subroutines are plain sim.Machine node programs: they run on the
+// same engine, obey the same distance-2 activation rule and are
+// measured by the same edge-complexity accounting as the main
+// algorithms that embed them.
+package subroutine
+
+import (
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+)
+
+// treeToStarState is broadcast by every TreeToStar node each round.
+type treeToStarState struct {
+	Parent graph.ID
+	IsRoot bool
+}
+
+// treeToStarTerm is the root's termination wave, broadcast once every
+// node has attached to the root.
+type treeToStarTerm struct{}
+
+// TreeToStar is the §2.3 subroutine: starting from a rooted tree in
+// which every node knows its parent, every node repeatedly activates
+// an edge to its grandparent and deactivates the edge to its parent,
+// until it is adjacent to the root. The tree collapses into a spanning
+// star centered at the root in ⌈log d⌉ rounds (Proposition 2.1).
+//
+// Nodes that reach the root keep broadcasting their state — late
+// descendants still route their hops through them — and halt on the
+// root's termination wave, which the root raises once its degree
+// reaches n-1.
+type TreeToStar struct {
+	parent graph.ID // current parent; == own ID at the root
+	root   bool
+	placed bool // adjacent to the root; no more hops
+	finish bool // root only: full degree observed, TERM goes out next
+}
+
+var _ sim.Machine = (*TreeToStar)(nil)
+
+// NewTreeToStarFactory builds machines from a parent map (root maps to
+// itself), e.g. the output of graph.SpanningTree.
+func NewTreeToStarFactory(parent map[graph.ID]graph.ID) sim.Factory {
+	return func(id graph.ID, _ sim.Env) sim.Machine {
+		p := parent[id]
+		return &TreeToStar{parent: p, root: p == id}
+	}
+}
+
+// Init implements sim.Machine.
+func (m *TreeToStar) Init(ctx *sim.Context) {
+	if m.root {
+		ctx.SetStatus(sim.StatusLeader)
+	} else {
+		ctx.SetStatus(sim.StatusFollower)
+	}
+}
+
+// Send implements sim.Machine.
+func (m *TreeToStar) Send(ctx *sim.Context) {
+	if m.root && m.finish {
+		ctx.Broadcast(treeToStarTerm{})
+		return
+	}
+	ctx.Broadcast(treeToStarState{Parent: m.parent, IsRoot: m.root})
+}
+
+// Receive implements sim.Machine.
+func (m *TreeToStar) Receive(ctx *sim.Context, inbox []sim.Message) {
+	if m.root {
+		if m.finish {
+			// TERM was broadcast this round; everyone else halts on it.
+			ctx.Halt()
+			return
+		}
+		if ctx.Degree() == ctx.N()-1 {
+			m.finish = true
+		}
+		return
+	}
+	// Pick out this round's message from the current parent before
+	// acting: hopping mid-scan could otherwise match a message from the
+	// new parent in the same inbox and hop twice in one round.
+	var parentState *treeToStarState
+	for i := range inbox {
+		switch st := inbox[i].Payload.(type) {
+		case treeToStarTerm:
+			ctx.Halt()
+			return
+		case treeToStarState:
+			if inbox[i].From == m.parent {
+				parentState = &st
+			}
+		}
+	}
+	if m.placed || parentState == nil {
+		return
+	}
+	if parentState.IsRoot {
+		// Adjacent to the root: final position. Keep relaying state
+		// for late-arriving children until TERM.
+		m.placed = true
+		return
+	}
+	// Hop: activate the grandparent edge over the (still active)
+	// parent and parent→grandparent edges, then drop the parent edge.
+	// Both edges are validated against the start-of-round snapshot, so
+	// the simultaneous hop of the parent does not invalidate the
+	// witness.
+	ctx.Activate(parentState.Parent)
+	ctx.Deactivate(m.parent)
+	m.parent = parentState.Parent
+}

@@ -1,0 +1,332 @@
+// Package temporal implements the paper's temporal-graph model
+// (§2.1): a static node set whose active edge set E(i) evolves round by
+// round under the distance-2 activation rule, together with the three
+// edge-complexity measures of §2.2 (total edge activations, maximum
+// activated edges per round, maximum activated degree).
+//
+// History is the single source of truth for the dynamic network. Both
+// the distributed engine (internal/sim) and the centralized strategies
+// (internal/baseline) mutate the network exclusively through
+// History.Apply, so every algorithm in this repository is validated
+// against the same model rules and measured by the same accounting.
+package temporal
+
+import (
+	"fmt"
+
+	"adnet/internal/graph"
+)
+
+// Violation describes an edge intent that breaks the model rules.
+// Attempting to activate an already-active edge or deactivate an
+// inactive one is NOT a violation (the paper defines those as no-ops);
+// activating an edge with no common active neighbor is.
+type Violation struct {
+	Round int
+	Edge  graph.Edge
+	Op    string // "activate" or "deactivate"
+	Why   string
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("temporal: round %d: illegal %s of %v: %s", v.Round, v.Op, v.Edge, v.Why)
+}
+
+// RoundStats records the accounting of one completed round.
+type RoundStats struct {
+	Round          int
+	Activated      int // |Eac(i)|: edges that became active this round
+	Deactivated    int // |Edac(i)|
+	ActiveEdges    int // |E(i+1)|
+	ActivatedAlive int // |E(i+1) \ E(1)|
+}
+
+// Metrics aggregates the paper's cost measures over a whole execution.
+type Metrics struct {
+	Rounds              int // number of completed rounds
+	LastActivityRound   int // last round with any edge activation/deactivation
+	TotalActivations    int // Σ|Eac(i)|
+	TotalDeactivations  int // Σ|Edac(i)|
+	MaxActivatedEdges   int // max_i |E(i) \ E(1)|
+	MaxActivatedDegree  int // max_i deg(D(i) \ D(1))
+	MaxActiveEdges      int // max_i |E(i)| (includes original edges)
+	FinalActiveEdges    int
+	FinalActivatedAlive int
+}
+
+// History is the evolving temporal graph of one execution.
+// The zero value is not usable; call NewHistory.
+type History struct {
+	initial *graph.Graph
+	current *graph.Graph
+	round   int // index of the next round to apply, starting at 1
+
+	totalActivations   int
+	totalDeactivations int
+	activatedAlive     map[graph.Edge]struct{} // E(i) \ E(1)
+	activatedDeg       map[graph.ID]int        // degree in D(i) \ D(1)
+	maxActivatedEdges  int
+	maxActivatedDeg    int
+	maxActiveEdges     int
+
+	perRound     []RoundStats
+	lastActivity int
+
+	trace      bool
+	traceAct   [][]graph.Edge
+	traceDeact [][]graph.Edge
+}
+
+// NewHistory starts an execution from the initial graph Gs = D(1).
+// The graph is cloned; the caller keeps ownership of gs.
+func NewHistory(gs *graph.Graph) *History {
+	h := &History{
+		initial:        gs.Clone(),
+		current:        gs.Clone(),
+		round:          1,
+		activatedAlive: make(map[graph.Edge]struct{}),
+		activatedDeg:   make(map[graph.ID]int),
+		maxActiveEdges: gs.NumEdges(),
+	}
+	return h
+}
+
+// EnableTrace records the full per-round activation/deactivation edge
+// lists (needed by figure-style experiments). Off by default to keep
+// large sweeps cheap.
+func (h *History) EnableTrace() { h.trace = true }
+
+// Round returns the index of the round about to be applied (1-based).
+func (h *History) Round() int { return h.round }
+
+// NumNodes returns |V|.
+func (h *History) NumNodes() int { return h.current.NumNodes() }
+
+// Active reports whether edge {u,v} is active at the start of the
+// current round.
+func (h *History) Active(u, v graph.ID) bool { return h.current.HasEdge(u, v) }
+
+// IsOriginal reports whether {u,v} ∈ E(1).
+func (h *History) IsOriginal(u, v graph.ID) bool { return h.initial.HasEdge(u, v) }
+
+// NeighborsOf returns the active neighbors N1(u) in ascending order.
+func (h *History) NeighborsOf(u graph.ID) []graph.ID { return h.current.Neighbors(u) }
+
+// InitialNeighborsOf returns u's neighbors in Gs = D(1), ascending.
+func (h *History) InitialNeighborsOf(u graph.ID) []graph.ID { return h.initial.Neighbors(u) }
+
+// DegreeOf returns |N1(u)|.
+func (h *History) DegreeOf(u graph.ID) int { return h.current.Degree(u) }
+
+// PotentialNeighbors returns N2(u): nodes at distance exactly 2 from u
+// in the current snapshot, in ascending order.
+func (h *History) PotentialNeighbors(u graph.ID) []graph.ID {
+	seen := make(map[graph.ID]struct{})
+	for _, v := range h.current.Neighbors(u) {
+		for _, w := range h.current.Neighbors(v) {
+			if w != u && !h.current.HasEdge(u, w) {
+				seen[w] = struct{}{}
+			}
+		}
+	}
+	out := make([]graph.ID, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sortIDs(out)
+	return out
+}
+
+// CurrentClone returns a copy of the current snapshot D(i).
+func (h *History) CurrentClone() *graph.Graph { return h.current.Clone() }
+
+// InitialClone returns a copy of D(1).
+func (h *History) InitialClone() *graph.Graph { return h.initial.Clone() }
+
+// ActivatedSubgraph returns D(i) \ D(1): the currently active edges
+// that the execution activated (on the full node set).
+func (h *History) ActivatedSubgraph() *graph.Graph {
+	g := graph.New()
+	for _, u := range h.current.Nodes() {
+		g.AddNode(u)
+	}
+	for e := range h.activatedAlive {
+		g.MustAddEdge(e.A, e.B)
+	}
+	return g
+}
+
+// Apply executes one synchronous round of edge reconfiguration:
+// E(i+1) = (E(i) ∪ Eac(i)) \ Edac(i).
+//
+// All intents are validated against the snapshot E(i) at the start of
+// the round, exactly as the model prescribes:
+//
+//   - activating an already-active edge is a no-op;
+//   - deactivating an inactive edge is a no-op (this also resolves the
+//     "endpoints disagree" rule: the conflicting intent is necessarily
+//     invalid and therefore void);
+//   - activating {u,v} with no common active neighbor w is a model
+//     violation and returns an error;
+//   - self-loops are violations.
+//
+// Apply returns the per-round statistics for the completed round.
+func (h *History) Apply(activate, deactivate []graph.Edge) (RoundStats, error) {
+	// Validate and dedupe against E(i).
+	rawAct := make(map[graph.Edge]struct{}, len(activate))
+	actSet := make(map[graph.Edge]struct{})
+	for _, e := range activate {
+		if e.A == e.B {
+			return RoundStats{}, &Violation{Round: h.round, Edge: e, Op: "activate", Why: "self-loop"}
+		}
+		rawAct[graph.NewEdge(e.A, e.B)] = struct{}{}
+		if h.current.HasEdge(e.A, e.B) {
+			continue // no-op per the model
+		}
+		if !h.haveCommonNeighbor(e.A, e.B) {
+			return RoundStats{}, &Violation{
+				Round: h.round, Edge: e, Op: "activate",
+				Why: "no common active neighbor (distance-2 rule)",
+			}
+		}
+		actSet[graph.NewEdge(e.A, e.B)] = struct{}{}
+	}
+	// "In case u and v disagree on their decision about edge uv, then
+	// their actions have no effect on uv": an edge that is requested
+	// both activated and deactivated in the same round (necessarily by
+	// different endpoints, and one request is necessarily invalid) is
+	// left untouched. The disagreement check uses the raw requests,
+	// before no-op filtering.
+	rawDeact := make(map[graph.Edge]struct{}, len(deactivate))
+	for _, e := range deactivate {
+		rawDeact[graph.NewEdge(e.A, e.B)] = struct{}{}
+	}
+	deactSet := make(map[graph.Edge]struct{})
+	for e := range rawDeact {
+		if _, disagreed := rawAct[e]; disagreed {
+			delete(actSet, e)
+			continue
+		}
+		if !h.current.HasEdge(e.A, e.B) {
+			continue // no-op per the model
+		}
+		deactSet[e] = struct{}{}
+	}
+
+	var tAct, tDeact []graph.Edge
+	for e := range actSet {
+		h.current.MustAddEdge(e.A, e.B)
+		h.totalActivations++
+		if !h.initial.HasEdge(e.A, e.B) {
+			h.activatedAlive[e] = struct{}{}
+			h.bumpActivatedDeg(e.A, +1)
+			h.bumpActivatedDeg(e.B, +1)
+		}
+		if h.trace {
+			tAct = append(tAct, e)
+		}
+	}
+	for e := range deactSet {
+		h.current.RemoveEdge(e.A, e.B)
+		h.totalDeactivations++
+		if _, ok := h.activatedAlive[e]; ok {
+			delete(h.activatedAlive, e)
+			h.bumpActivatedDeg(e.A, -1)
+			h.bumpActivatedDeg(e.B, -1)
+		}
+		if h.trace {
+			tDeact = append(tDeact, e)
+		}
+	}
+
+	if n := len(h.activatedAlive); n > h.maxActivatedEdges {
+		h.maxActivatedEdges = n
+	}
+	if m := h.current.NumEdges(); m > h.maxActiveEdges {
+		h.maxActiveEdges = m
+	}
+
+	if len(actSet)+len(deactSet) > 0 {
+		h.lastActivity = h.round
+	}
+	stats := RoundStats{
+		Round:          h.round,
+		Activated:      len(actSet),
+		Deactivated:    len(deactSet),
+		ActiveEdges:    h.current.NumEdges(),
+		ActivatedAlive: len(h.activatedAlive),
+	}
+	h.perRound = append(h.perRound, stats)
+	if h.trace {
+		h.traceAct = append(h.traceAct, tAct)
+		h.traceDeact = append(h.traceDeact, tDeact)
+	}
+	h.round++
+	return stats, nil
+}
+
+func (h *History) bumpActivatedDeg(u graph.ID, delta int) {
+	d := h.activatedDeg[u] + delta
+	if d == 0 {
+		delete(h.activatedDeg, u)
+	} else {
+		h.activatedDeg[u] = d
+	}
+	if d > h.maxActivatedDeg {
+		h.maxActivatedDeg = d
+	}
+}
+
+func (h *History) haveCommonNeighbor(u, v graph.ID) bool {
+	// Iterate over the lower-degree endpoint.
+	if h.current.Degree(u) > h.current.Degree(v) {
+		u, v = v, u
+	}
+	for _, w := range h.current.Neighbors(u) {
+		if h.current.HasEdge(w, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Metrics returns the aggregated cost measures so far.
+func (h *History) Metrics() Metrics {
+	return Metrics{
+		Rounds:              h.round - 1,
+		LastActivityRound:   h.lastActivity,
+		TotalActivations:    h.totalActivations,
+		TotalDeactivations:  h.totalDeactivations,
+		MaxActivatedEdges:   h.maxActivatedEdges,
+		MaxActivatedDegree:  h.maxActivatedDeg,
+		MaxActiveEdges:      h.maxActiveEdges,
+		FinalActiveEdges:    h.current.NumEdges(),
+		FinalActivatedAlive: len(h.activatedAlive),
+	}
+}
+
+// PerRound returns the per-round statistics (copy).
+func (h *History) PerRound() []RoundStats {
+	out := make([]RoundStats, len(h.perRound))
+	copy(out, h.perRound)
+	return out
+}
+
+// TraceRound returns the recorded activation and deactivation lists for
+// round i (1-based). EnableTrace must have been called before the round
+// ran; otherwise ok is false.
+func (h *History) TraceRound(i int) (act, deact []graph.Edge, ok bool) {
+	if !h.trace || i < 1 || i > len(h.traceAct) {
+		return nil, nil, false
+	}
+	return h.traceAct[i-1], h.traceDeact[i-1], true
+}
+
+func sortIDs(ids []graph.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
