@@ -1,0 +1,84 @@
+// Command adnet-server serves the PODC-2020 reconfiguration
+// algorithms as a streaming HTTP/JSON API: a bounded worker pool
+// executes runs, an LRU cache answers repeated specs without
+// re-simulation, and per-round statistics stream as NDJSON.
+//
+// Usage:
+//
+//	adnet-server -addr :8080 -workers 8 -queue 128 -cache 512
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/algorithms
+//	curl -s -X POST localhost:8080/v1/runs \
+//	    -d '{"algorithm":"graph-to-star","workload":"line","n":1024,"seed":7}'
+//	curl -s localhost:8080/v1/runs/<id>
+//	curl -sN localhost:8080/v1/runs/<id>/rounds
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adnet/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 128, "job queue depth")
+	cache := flag.Int("cache", 512, "result cache capacity (entries)")
+	maxN := flag.Int("max-n", service.DefaultMaxN, "largest accepted network size")
+	timeLimit := flag.Duration("time-limit", 2*time.Minute, "wall-clock budget per run")
+	retain := flag.Int("retain", 1024, "finished jobs kept queryable")
+	flag.Parse()
+
+	mgr := service.NewManager(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		MaxN:         *maxN,
+		RunTimeLimit: *timeLimit,
+		RetainJobs:   *retain,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(mgr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("adnet-server listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("adnet-server shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("adnet-server: shutdown: %v", err)
+	}
+	mgr.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adnet-server:", err)
+	os.Exit(1)
+}

@@ -21,17 +21,18 @@ func main() {
 	algo := flag.String("algo", expt.AlgoStar,
 		"algorithm: "+strings.Join(expt.Algorithms(), ", "))
 	workload := flag.String("graph", "line",
-		"initial network: line, ring, random-tree, bounded-degree, random, star")
+		"initial network: "+strings.Join(expt.Workloads(), ", "))
 	n := flag.Int("n", 256, "number of nodes")
 	seed := flag.Int64("seed", 1, "workload seed")
 	verify := flag.Bool("verify", false, "fail unless a unique correct leader was elected")
 	flag.Parse()
 
-	g, err := expt.Workload(*workload, *n, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	out, err := expt.RunAlgorithm(*algo, g)
+	out, err := expt.Execute(expt.Request{
+		Algorithm: *algo,
+		Workload:  *workload,
+		N:         *n,
+		Seed:      *seed,
+	})
 	if err != nil {
 		fatal(err)
 	}

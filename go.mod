@@ -1,0 +1,3 @@
+module adnet
+
+go 1.24

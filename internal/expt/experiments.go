@@ -130,11 +130,7 @@ func mainAlgoTable(id, title, claim, algo, workload string, sizes, def []int) (*
 			"maxActEdges", "maxActDeg", "finalDepth", "leaderOK"},
 	}
 	for _, n := range defSizes(sizes, def) {
-		g, err := Workload(workload, n, int64(n))
-		if err != nil {
-			return nil, err
-		}
-		out, err := RunAlgorithm(algo, g)
+		out, err := Execute(Request{Algorithm: algo, Workload: workload, N: n, Seed: int64(n)})
 		if err != nil {
 			return nil, err
 		}

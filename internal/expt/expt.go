@@ -47,9 +47,38 @@ func Algorithms() []string {
 	return []string{AlgoStar, AlgoWreath, AlgoThinWreath, AlgoClique, AlgoFlood, AlgoCentralized}
 }
 
+// Request names one deterministic run: an algorithm, a workload
+// family, a size and a seed. It is the spec-driven entry point shared
+// by the CLIs and the service layer (internal/service).
+type Request struct {
+	Algorithm string
+	Workload  string
+	N         int
+	Seed      int64
+	// SimOpts are appended after the algorithm's own defaults, so
+	// callers can override round limits or attach hooks. The
+	// centralized baseline runs no simulation and ignores them.
+	SimOpts []sim.Option
+}
+
+// Execute builds the workload and runs the algorithm on it.
+func Execute(req Request) (Outcome, error) {
+	g, err := Workload(req.Workload, req.N, req.Seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return RunAlgorithmOpts(req.Algorithm, g, req.SimOpts...)
+}
+
 // RunAlgorithm executes the named algorithm on a copy of gs and
 // returns the unified outcome.
 func RunAlgorithm(name string, gs *graph.Graph) (Outcome, error) {
+	return RunAlgorithmOpts(name, gs)
+}
+
+// RunAlgorithmOpts is RunAlgorithm with extra simulation options
+// appended after the algorithm's defaults.
+func RunAlgorithmOpts(name string, gs *graph.Graph, extra ...sim.Option) (Outcome, error) {
 	known := false
 	for _, a := range Algorithms() {
 		if a == name {
@@ -102,6 +131,7 @@ func RunAlgorithm(name string, gs *graph.Graph) (Outcome, error) {
 	default:
 		return Outcome{}, fmt.Errorf("expt: unknown algorithm %q", name)
 	}
+	opts = append(opts, extra...)
 	res, err := sim.Run(gs, factory, opts...)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("expt: %s on n=%d: %w", name, n, err)
@@ -121,6 +151,12 @@ func RunAlgorithm(name string, gs *graph.Graph) (Outcome, error) {
 		out.FinalDepth = final.Eccentricity(umax)
 	}
 	return out, nil
+}
+
+// Workloads lists every initial-network family name accepted by
+// Workload, aliases included.
+func Workloads() []string {
+	return []string{"line", "ring", "increasing-ring", "random-tree", "bounded-degree", "random", "star"}
 }
 
 // Workload builds the named initial-network family at size n.

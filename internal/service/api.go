@@ -1,0 +1,140 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"adnet/internal/expt"
+)
+
+// NewHandler builds the HTTP surface over a Manager:
+//
+//	POST   /v1/runs             enqueue a RunSpec (JSON body) or hit the cache
+//	GET    /v1/runs             list all known jobs
+//	GET    /v1/runs/{id}        job status + Outcome when finished
+//	GET    /v1/runs/{id}/rounds NDJSON stream of per-round stats (replay + live tail)
+//	DELETE /v1/runs/{id}        cancel a queued or running job
+//	GET    /v1/algorithms       runnable algorithm names
+//	GET    /v1/workloads        initial-network family names
+//	GET    /healthz             liveness + pool/cache counters
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		var spec RunSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		job, cached, err := m.Submit(spec)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		default:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		code := http.StatusAccepted
+		if cached {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, submitResponse{Job: job.Status(), Cached: cached})
+	})
+	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Jobs())
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+	mux.HandleFunc("DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		err := m.Cancel(r.PathValue("id"))
+		switch {
+		case err == nil:
+			w.WriteHeader(http.StatusNoContent)
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusConflict, err)
+		}
+	})
+	mux.HandleFunc("GET /v1/runs/{id}/rounds", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		if flusher != nil {
+			// Push the status line now: the first batch may be a
+			// long Wait away and clients time out on a silent start.
+			flusher.Flush()
+		}
+		enc := json.NewEncoder(w)
+		cursor := 0
+		for {
+			batch, ok := job.Stream().Wait(r.Context(), cursor)
+			if !ok {
+				return
+			}
+			for _, rs := range batch {
+				if err := enc.Encode(rs); err != nil {
+					return
+				}
+			}
+			cursor += len(batch)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, expt.Algorithms())
+	})
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, expt.Workloads())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: m.Stats()})
+	})
+	return mux
+}
+
+type submitResponse struct {
+	Job    JobStatus `json:"job"`
+	Cached bool      `json:"cached"`
+}
+
+type healthResponse struct {
+	Status string `json:"status"`
+	Stats  Stats  `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encode errors after the status line is committed can only be
+	// surfaced by aborting the connection; let the client see EOF.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

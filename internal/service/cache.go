@@ -1,0 +1,84 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"adnet/internal/expt"
+	"adnet/internal/temporal"
+)
+
+// cacheEntry is the replayable product of one successful run: the
+// unified outcome plus the per-round statistics, so cache hits can
+// serve the NDJSON round stream as well as the summary.
+type cacheEntry struct {
+	Outcome expt.Outcome
+	Rounds  []temporal.RoundStats
+}
+
+// resultCache is a fixed-capacity LRU over cacheEntry keyed by
+// RunSpec.Key(). Only successful runs are stored — failures may be
+// transient (time limits) and are cheap to refuse to cache.
+type resultCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+type lruItem struct {
+	key   string
+	entry cacheEntry
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached entry and promotes it to most recently used.
+func (c *resultCache) Get(key string) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return cacheEntry{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).entry, true
+}
+
+// Add stores (or refreshes) an entry, evicting the least recently
+// used item when over capacity.
+func (c *resultCache) Add(key string, e cacheEntry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruItem).entry = e
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, entry: e})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}
+
+// Stats reports (size, hits, misses).
+func (c *resultCache) Stats() (int, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.hits, c.misses
+}

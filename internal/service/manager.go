@@ -1,0 +1,459 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adnet/internal/expt"
+	"adnet/internal/sim"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle: queued → running → one of the three terminal states.
+// Cache hits are born StateDone.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Submission errors surfaced to the API layer.
+var (
+	ErrQueueFull  = errors.New("service: job queue full")
+	ErrClosed     = errors.New("service: manager closed")
+	ErrNotFound   = errors.New("service: no such job")
+	ErrNotRunning = errors.New("service: job already finished")
+)
+
+// Config sizes the manager. Zero values pick the documented defaults.
+type Config struct {
+	// Workers is the number of concurrent simulations (default:
+	// GOMAXPROCS). Each runs the engine sequentially, so the pool —
+	// not per-run parallelism — is the service's unit of concurrency.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64);
+	// submissions beyond it fail fast with ErrQueueFull.
+	QueueDepth int
+	// CacheSize is the LRU capacity in entries (default 256; 0 uses
+	// the default, negative disables caching).
+	CacheSize int
+	// MaxN caps RunSpec.N (default DefaultMaxN).
+	MaxN int
+	// RunTimeLimit is the wall-clock budget per run (default 2m);
+	// runs over budget are canceled between rounds and fail. The
+	// centralized-euler baseline runs no round loop, so it streams no
+	// rounds and cannot be interrupted mid-computation.
+	RunTimeLimit time.Duration
+	// RetainJobs bounds how many finished jobs stay queryable
+	// (default 1024): the oldest finished jobs are evicted from the
+	// table as new ones finish. Live jobs are never evicted.
+	RetainJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = DefaultMaxN
+	}
+	if c.RunTimeLimit <= 0 {
+		c.RunTimeLimit = 2 * time.Minute
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	return c
+}
+
+// Job tracks one submitted RunSpec through its lifecycle.
+type Job struct {
+	ID   string
+	Spec RunSpec
+	// FromCache marks jobs answered by the result cache without
+	// executing a simulation.
+	FromCache bool
+
+	stream *RoundStream
+	cancel chan struct{}
+
+	mu         sync.Mutex
+	cancelOnce sync.Once
+	state      JobState
+	outcome    *expt.Outcome
+	err        error
+	enqueued   time.Time
+	started    time.Time
+	finished   time.Time
+}
+
+// JobStatus is the JSON-facing snapshot of a Job.
+type JobStatus struct {
+	ID         string        `json:"id"`
+	Spec       RunSpec       `json:"spec"`
+	State      JobState      `json:"state"`
+	FromCache  bool          `json:"from_cache"`
+	Outcome    *expt.Outcome `json:"outcome,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	EnqueuedAt time.Time     `json:"enqueued_at"`
+	StartedAt  *time.Time    `json:"started_at,omitempty"`
+	FinishedAt *time.Time    `json:"finished_at,omitempty"`
+	Rounds     int           `json:"rounds_streamed"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:         j.ID,
+		Spec:       j.Spec,
+		State:      j.state,
+		FromCache:  j.FromCache,
+		EnqueuedAt: j.enqueued,
+		Rounds:     j.stream.Len(),
+	}
+	if j.outcome != nil {
+		o := *j.outcome
+		st.Outcome = &o
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Stream exposes the job's round stream for subscribers.
+func (j *Job) Stream() *RoundStream { return j.stream }
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = s
+	switch s {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCanceled:
+		j.finished = time.Now()
+	}
+}
+
+// State returns the current lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Manager owns the worker pool, the job table, the in-flight dedup
+// index, and the result cache.
+type Manager struct {
+	cfg   Config
+	cache *resultCache
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	inWork  map[string]*Job // spec key → live (queued/running) job
+	retired []string        // finished job IDs, oldest first
+	closed  bool
+
+	seq          atomic.Int64
+	runsExecuted atomic.Int64
+}
+
+// NewManager starts cfg.Workers workers; callers must Close it.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheSize),
+		queue:  make(chan *Job, cfg.QueueDepth),
+		jobs:   make(map[string]*Job),
+		inWork: make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close stops accepting submissions and waits for in-flight jobs.
+// Queued jobs still run; to drop them, Cancel first.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// Submit validates spec and returns a job for it: a pre-completed one
+// on a cache hit (cached=true), the already-live job when an
+// identical spec is in flight, or a freshly enqueued one. It fails
+// fast with ErrQueueFull when the queue is at capacity.
+func (m *Manager) Submit(spec RunSpec) (job *Job, cached bool, err error) {
+	if err := spec.Validate(m.cfg.MaxN); err != nil {
+		return nil, false, fmt.Errorf("service: invalid spec: %w", err)
+	}
+	key := spec.Key()
+	if entry, ok := m.cache.Get(key); ok {
+		j := m.newJob(spec, true)
+		out := entry.Outcome
+		j.outcome = &out
+		j.state = StateDone
+		j.finished = time.Now()
+		j.stream = newClosedStream(entry.Rounds)
+		m.register(j)
+		m.retire(j)
+		return j, true, nil
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	// Join an identical in-flight spec — unless it has been canceled,
+	// in which case the new submitter deserves a fresh run, not
+	// someone else's cancellation.
+	if live, ok := m.inWork[key]; ok && !wasCanceled(live.cancel) {
+		m.mu.Unlock()
+		return live, false, nil
+	}
+	j := m.newJob(spec, false)
+	j.state = StateQueued
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		return nil, false, ErrQueueFull
+	}
+	m.jobs[j.ID] = j
+	m.inWork[key] = j
+	m.mu.Unlock()
+	return j, false, nil
+}
+
+// Get looks a job up by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every known job's status, newest first not
+// guaranteed — callers sort as needed.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel aborts a queued or running job. Terminal jobs return
+// ErrNotRunning.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		j.mu.Unlock()
+		return ErrNotRunning
+	}
+	j.mu.Unlock()
+	j.cancelOnce.Do(func() { close(j.cancel) })
+	return nil
+}
+
+// Stats is the healthz payload.
+type Stats struct {
+	Workers      int   `json:"workers"`
+	QueueDepth   int   `json:"queue_depth"`
+	Queued       int   `json:"queued"`
+	Jobs         int   `json:"jobs"`
+	RunsExecuted int64 `json:"runs_executed"`
+	CacheSize    int   `json:"cache_size"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+}
+
+// Stats reports live counters.
+func (m *Manager) Stats() Stats {
+	size, hits, misses := m.cache.Stats()
+	m.mu.Lock()
+	jobs := len(m.jobs)
+	m.mu.Unlock()
+	return Stats{
+		Workers:      m.cfg.Workers,
+		QueueDepth:   m.cfg.QueueDepth,
+		Queued:       len(m.queue),
+		Jobs:         jobs,
+		RunsExecuted: m.runsExecuted.Load(),
+		CacheSize:    size,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+	}
+}
+
+// RunsExecuted counts simulations actually executed (cache hits and
+// dedup joins excluded) — the observable for "no re-simulation".
+func (m *Manager) RunsExecuted() int64 { return m.runsExecuted.Load() }
+
+func (m *Manager) newJob(spec RunSpec, fromCache bool) *Job {
+	seq := m.seq.Add(1)
+	return &Job{
+		ID:        fmt.Sprintf("run-%06d-%s", seq, spec.keyHash()),
+		Spec:      spec,
+		FromCache: fromCache,
+		stream:    newRoundStream(),
+		cancel:    make(chan struct{}),
+		enqueued:  time.Now(),
+	}
+}
+
+func (m *Manager) register(j *Job) {
+	m.mu.Lock()
+	m.jobs[j.ID] = j
+	m.mu.Unlock()
+}
+
+// retire records a finished job and evicts the oldest finished jobs
+// beyond the retention bound, keeping the table's memory bounded on
+// an always-on server.
+func (m *Manager) retire(j *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retired = append(m.retired, j.ID)
+	for len(m.retired) > m.cfg.RetainJobs {
+		delete(m.jobs, m.retired[0])
+		m.retired = m.retired[1:]
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.execute(j)
+	}
+}
+
+func (m *Manager) execute(j *Job) {
+	key := j.Spec.Key()
+	defer func() {
+		m.mu.Lock()
+		if m.inWork[key] == j {
+			delete(m.inWork, key)
+		}
+		m.mu.Unlock()
+		j.stream.close()
+		m.retire(j)
+	}()
+
+	select {
+	case <-j.cancel:
+		j.setState(StateCanceled)
+		j.mu.Lock()
+		j.err = context.Canceled
+		j.mu.Unlock()
+		return
+	default:
+	}
+	j.setState(StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.RunTimeLimit)
+	defer cancel()
+	go func() {
+		select {
+		case <-j.cancel:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	opts := []sim.Option{
+		sim.WithRoundHook(func(ev sim.RoundEvent) { j.stream.publish(ev.Stats) }),
+		sim.WithCancel(ctx.Done()),
+	}
+	if j.Spec.MaxRounds > 0 {
+		opts = append(opts, sim.WithMaxRounds(j.Spec.MaxRounds))
+	}
+	m.runsExecuted.Add(1)
+	out, err := expt.Execute(expt.Request{
+		Algorithm: j.Spec.Algorithm,
+		Workload:  j.Spec.Workload,
+		N:         j.Spec.N,
+		Seed:      j.Spec.Seed,
+		SimOpts:   opts,
+	})
+
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.outcome = &out
+		j.mu.Unlock()
+		m.cache.Add(key, cacheEntry{Outcome: out, Rounds: j.stream.snapshot()})
+		j.setState(StateDone)
+	case errors.Is(err, sim.ErrCanceled) && wasCanceled(j.cancel):
+		j.err = fmt.Errorf("canceled by request: %w", err)
+		j.mu.Unlock()
+		j.setState(StateCanceled)
+	case errors.Is(err, sim.ErrCanceled):
+		j.err = fmt.Errorf("run time limit %s exceeded: %w", m.cfg.RunTimeLimit, err)
+		j.mu.Unlock()
+		j.setState(StateFailed)
+	default:
+		j.err = err
+		j.mu.Unlock()
+		j.setState(StateFailed)
+	}
+}
+
+func wasCanceled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,81 @@
+// Package service turns the deterministic simulation engine
+// (internal/sim + internal/expt) into an always-on backend: a bounded
+// job manager executes canonical RunSpecs, an LRU cache serves
+// repeated specs without re-simulation (runs are deterministic by
+// seed), and per-round statistics are published to stream subscribers
+// via sim.WithRoundHook. The HTTP surface over this lives in api.go
+// and is served by cmd/adnet-server.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"adnet/internal/expt"
+)
+
+// DefaultMaxN caps spec sizes unless the manager configures its own
+// limit; it keeps a single request from monopolizing the pool.
+const DefaultMaxN = 1 << 16
+
+// RunSpec is the canonical description of one simulation run. Two
+// specs with equal Key() produce identical Outcomes: every workload
+// generator is seeded and the engine is deterministic regardless of
+// parallelism, which is what makes result caching sound.
+type RunSpec struct {
+	Algorithm string `json:"algorithm"`
+	Workload  string `json:"workload"`
+	N         int    `json:"n"`
+	Seed      int64  `json:"seed"`
+	// MaxRounds overrides the algorithm's default round limit when
+	// positive. It is part of the cache key: a tighter limit can turn
+	// a completing run into a round-limit failure.
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// Validate checks the spec against the known algorithm and workload
+// names and the size cap (maxN; 0 means DefaultMaxN).
+func (s RunSpec) Validate(maxN int) error {
+	if !contains(expt.Algorithms(), s.Algorithm) {
+		return fmt.Errorf("unknown algorithm %q (want one of %v)", s.Algorithm, expt.Algorithms())
+	}
+	if !contains(expt.Workloads(), s.Workload) {
+		return fmt.Errorf("unknown workload %q (want one of %v)", s.Workload, expt.Workloads())
+	}
+	if maxN <= 0 {
+		maxN = DefaultMaxN
+	}
+	if s.N < 2 {
+		return fmt.Errorf("n must be at least 2, got %d", s.N)
+	}
+	if s.N > maxN {
+		return fmt.Errorf("n=%d exceeds the service limit %d", s.N, maxN)
+	}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("max_rounds must be non-negative, got %d", s.MaxRounds)
+	}
+	return nil
+}
+
+// Key is the stable cache key: a canonical rendering of every field
+// that influences the simulation outcome.
+func (s RunSpec) Key() string {
+	return fmt.Sprintf("%s|%s|n=%d|seed=%d|maxr=%d",
+		s.Algorithm, s.Workload, s.N, s.Seed, s.MaxRounds)
+}
+
+// keyHash is a short stable digest of the cache key, used in job IDs.
+func (s RunSpec) keyHash() string {
+	sum := sha256.Sum256([]byte(s.Key()))
+	return hex.EncodeToString(sum[:4])
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

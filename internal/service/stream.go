@@ -1,0 +1,93 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"adnet/internal/temporal"
+)
+
+// RoundStream is the per-job publication channel for round statistics.
+// The worker publishes one temporal.RoundStats per completed round;
+// any number of subscribers read with a cursor, so late subscribers
+// (including cache hits, whose streams are pre-filled) replay the
+// full history before tailing live rounds. Memory is bounded by the
+// job's round limit — RoundStats is five ints.
+type RoundStream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rounds []temporal.RoundStats
+	done   bool
+}
+
+func newRoundStream() *RoundStream {
+	s := &RoundStream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// newClosedStream builds an already-finished stream holding rounds —
+// the replay source for cache-hit jobs.
+func newClosedStream(rounds []temporal.RoundStats) *RoundStream {
+	s := newRoundStream()
+	s.rounds = rounds
+	s.done = true
+	return s
+}
+
+func (s *RoundStream) publish(rs temporal.RoundStats) {
+	s.mu.Lock()
+	s.rounds = append(s.rounds, rs)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *RoundStream) close() {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Len returns the number of rounds published so far.
+func (s *RoundStream) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rounds)
+}
+
+// snapshot returns the rounds published so far.
+func (s *RoundStream) snapshot() []temporal.RoundStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]temporal.RoundStats, len(s.rounds))
+	copy(out, s.rounds)
+	return out
+}
+
+// Wait blocks until rounds beyond cursor are available and returns
+// them (as a capped slice the caller may range over but not append
+// to). It returns ok=false when the stream is finished and fully
+// consumed, or when ctx is canceled.
+func (s *RoundStream) Wait(ctx context.Context, cursor int) ([]temporal.RoundStats, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		// Broadcast under the lock: otherwise the wakeup could slip
+		// between a waiter's ctx check and its cond.Wait and be lost.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.cond.Broadcast()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if cursor < len(s.rounds) {
+			n := len(s.rounds)
+			return s.rounds[cursor:n:n], true
+		}
+		if s.done || ctx.Err() != nil {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}

@@ -85,6 +85,10 @@ var ErrRoundLimit = errors.New("sim: round limit exceeded before termination")
 // ErrDisconnected is returned by the optional connectivity check.
 var ErrDisconnected = errors.New("sim: active graph disconnected")
 
+// ErrCanceled is returned when an execution is aborted between rounds
+// via WithCancel.
+var ErrCanceled = errors.New("sim: execution canceled")
+
 // RoundEvent is passed to round hooks after each completed round.
 type RoundEvent struct {
 	Round    int
@@ -98,6 +102,7 @@ type config struct {
 	checkConnect bool
 	hooks        []func(RoundEvent)
 	trace        bool
+	done         <-chan struct{}
 }
 
 // Option configures Run.
@@ -126,6 +131,14 @@ func WithRoundHook(fn func(RoundEvent)) Option {
 
 // WithTrace records full per-round edge lists in the History.
 func WithTrace() Option { return func(c *config) { c.trace = true } }
+
+// WithCancel aborts the execution before the next round once done is
+// closed, returning the partial Result alongside ErrCanceled. This is
+// how callers impose deadlines or user-initiated cancellation on a
+// running simulation (e.g. context.Context.Done from a server job).
+func WithCancel(done <-chan struct{}) Option {
+	return func(c *config) { c.done = done }
+}
 
 // Result is the outcome of an execution.
 type Result struct {
@@ -221,6 +234,14 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 	inboxes := make([][]Message, n)
 	totalMsgs, maxMsgs := 0, 0
 	for round := 1; round <= cfg.maxRounds; round++ {
+		if cfg.done != nil {
+			select {
+			case <-cfg.done:
+				return finish(hist, ids, ctxs, machines, round-1, totalMsgs, maxMsgs),
+					fmt.Errorf("%w after round %d", ErrCanceled, round-1)
+			default:
+			}
+		}
 		// --- Send ---
 		runPhase(workers, n, func(i int) {
 			ctx := ctxs[i]
@@ -231,7 +252,7 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 			machines[i].Send(ctx)
 		})
 		if err := checkCtxErrs(); err != nil {
-			return finish(hist, ids, ctxs, machines, round), err
+			return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs), err
 		}
 		for i := range inboxes {
 			inboxes[i] = inboxes[i][:0]
@@ -240,7 +261,7 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 		for i := range ctxs {
 			for _, m := range ctxs[i].outbox {
 				if !hist.Active(m.From, m.To) {
-					return finish(hist, ids, ctxs, machines, round),
+					return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs),
 						fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", round, m.From, m.To)
 				}
 				inboxes[index[m.To]] = append(inboxes[index[m.To]], m)
@@ -272,7 +293,7 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 			machines[i].Receive(ctx, inboxes[i])
 		})
 		if err := checkCtxErrs(); err != nil {
-			return finish(hist, ids, ctxs, machines, round), err
+			return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs), err
 		}
 
 		// --- Activate / Deactivate ---
@@ -283,10 +304,10 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 		}
 		stats, err := hist.Apply(acts, deacts)
 		if err != nil {
-			return finish(hist, ids, ctxs, machines, round), err
+			return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs), err
 		}
 		if cfg.checkConnect && !hist.CurrentClone().IsConnected() {
-			return finish(hist, ids, ctxs, machines, round),
+			return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs),
 				fmt.Errorf("%w after round %d", ErrDisconnected, round)
 		}
 		for _, hook := range cfg.hooks {
@@ -301,22 +322,22 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 			}
 		}
 		if allHalted {
-			res := finish(hist, ids, ctxs, machines, round)
-			res.TotalMessages, res.MaxMessagesPerRound = totalMsgs, maxMsgs
-			return res, nil
+			return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs), nil
 		}
 	}
-	return finish(hist, ids, ctxs, machines, cfg.maxRounds),
+	return finish(hist, ids, ctxs, machines, cfg.maxRounds, totalMsgs, maxMsgs),
 		fmt.Errorf("%w (limit %d)", ErrRoundLimit, cfg.maxRounds)
 }
 
-func finish(hist *temporal.History, ids []graph.ID, ctxs []*Context, machines []Machine, rounds int) *Result {
+func finish(hist *temporal.History, ids []graph.ID, ctxs []*Context, machines []Machine, rounds, totalMsgs, maxMsgs int) *Result {
 	res := &Result{
-		History:  hist,
-		Metrics:  hist.Metrics(),
-		Rounds:   rounds,
-		Statuses: make(map[graph.ID]Status, len(ids)),
-		Machines: make(map[graph.ID]Machine, len(ids)),
+		History:             hist,
+		Metrics:             hist.Metrics(),
+		Rounds:              rounds,
+		Statuses:            make(map[graph.ID]Status, len(ids)),
+		Machines:            make(map[graph.ID]Machine, len(ids)),
+		TotalMessages:       totalMsgs,
+		MaxMessagesPerRound: maxMsgs,
 	}
 	for i, id := range ids {
 		res.Statuses[id] = ctxs[i].status
