@@ -303,6 +303,100 @@ func BenchmarkTradeoffTable(b *testing.B) {
 	_ = tab
 }
 
+// benchRoundMachine is the round-loop microbenchmark workload: every
+// node broadcasts a small payload each round and halts after a fixed
+// number of rounds. It isolates the engine's per-round overhead
+// (message fan-out, delivery, intent merging) from algorithm logic.
+type benchRoundMachine struct {
+	rounds int
+}
+
+func (m *benchRoundMachine) Init(ctx *sim.Context) {}
+
+func (m *benchRoundMachine) Send(ctx *sim.Context) {
+	ctx.Broadcast(ctx.Round())
+}
+
+func (m *benchRoundMachine) Receive(ctx *sim.Context, inbox []sim.Message) {
+	if ctx.Round() >= m.rounds {
+		ctx.SetStatus(sim.StatusFollower)
+		ctx.Halt()
+	}
+}
+
+// benchChurnMachine adds edge churn on a ring: every node alternates
+// between activating and deactivating the chord {u, u+2} (legal under
+// the distance-2 rule via the common neighbor u+1), so every round
+// pushes Θ(n) intents through temporal.History.Apply.
+type benchChurnMachine struct {
+	rounds int
+	n      int
+}
+
+func (m *benchChurnMachine) Init(ctx *sim.Context) {}
+
+func (m *benchChurnMachine) Send(ctx *sim.Context) {
+	ctx.Broadcast(ctx.Round())
+}
+
+func (m *benchChurnMachine) Receive(ctx *sim.Context, inbox []sim.Message) {
+	chord := graph.ID((int(ctx.ID()) + 2) % m.n)
+	if ctx.Round()%2 == 1 {
+		ctx.Activate(chord)
+	} else {
+		ctx.Deactivate(chord)
+	}
+	if ctx.Round() >= m.rounds {
+		ctx.SetStatus(sim.StatusFollower)
+		ctx.Halt()
+	}
+}
+
+// benchRound shares the round-loop benchmark shape: run a fixed-length
+// execution per iteration and report per-round cost next to -benchmem's
+// per-op allocation figures.
+func benchRound(b *testing.B, sizes []int, factory func(n int) sim.Factory) {
+	b.Helper()
+	const rounds = 16
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.Ring(n)
+			f := factory(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(g, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds != rounds {
+					b.Fatalf("rounds = %d, want %d", res.Rounds, rounds)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rounds), "ns/round")
+		})
+	}
+}
+
+// BenchmarkRoundLoop measures the engine's message-only round loop:
+// n broadcasting nodes on a ring, no edge reconfiguration.
+func BenchmarkRoundLoop(b *testing.B) {
+	benchRound(b, []int{256, 1024, 4096}, func(n int) sim.Factory {
+		return func(id graph.ID, env sim.Env) sim.Machine {
+			return &benchRoundMachine{rounds: 16}
+		}
+	})
+}
+
+// BenchmarkRoundLoopChurn measures the full round loop including Θ(n)
+// edge activations/deactivations per round through temporal.Apply.
+func BenchmarkRoundLoopChurn(b *testing.B) {
+	benchRound(b, []int{256, 1024, 4096}, func(n int) sim.Factory {
+		return func(id graph.ID, env sim.Env) sim.Machine {
+			return &benchChurnMachine{rounds: 16, n: n}
+		}
+	})
+}
+
 // BenchmarkWreathAdmissionAblation sweeps the ThinWreath matchmaker's
 // admission cap (DESIGN.md §3.3): tighter admission bounds per-phase
 // merge fan-in, trading rounds for smaller splice groups.

@@ -8,14 +8,27 @@
 //	adnet-bench -only E3,E9     # a subset
 //	adnet-bench -sizes 64,256   # override the size sweep
 //	adnet-bench -tradeoff 512   # the headline comparison at one size
+//
+// With -json the command switches to the machine-readable performance
+// mode used to track the perf trajectory across PRs (BENCH_*.json):
+//
+//	adnet-bench -json                          # default perf suite
+//	adnet-bench -json -algos graph-to-star \
+//	            -workloads line,ring -sizes 1024,4096 > BENCH_PR2.json
+//
+// Each record reports the workload, rounds executed, wall-clock
+// ns/round and heap allocations (count and bytes) per round.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"adnet/internal/expt"
 )
@@ -24,6 +37,10 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	sizesFlag := flag.String("sizes", "", "comma-separated n values (default: per-experiment)")
 	tradeoff := flag.Int("tradeoff", 0, "also print the tradeoff table at this n")
+	jsonOut := flag.Bool("json", false, "emit machine-readable perf records (JSON) instead of tables")
+	algosFlag := flag.String("algos", "graph-to-star", "perf mode: comma-separated algorithms")
+	workloadsFlag := flag.String("workloads", "line,ring", "perf mode: comma-separated workloads")
+	seed := flag.Int64("seed", 1, "perf mode: workload seed")
 	flag.Parse()
 
 	var sizes []int
@@ -35,6 +52,12 @@ func main() {
 			}
 			sizes = append(sizes, v)
 		}
+	}
+	if *jsonOut {
+		if err := runPerf(splitList(*algosFlag), splitList(*workloadsFlag), sizes, *seed); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	ids := expt.ExperimentIDs()
 	if *only != "" {
@@ -55,6 +78,95 @@ func main() {
 		}
 		fmt.Println(tab.String())
 	}
+}
+
+// perfRecord is one machine-readable measurement. The schema is append
+// only: future PRs add fields but never rename these, so BENCH_*.json
+// files stay comparable across the repo's history.
+//
+// The *_per_round figures divide whole-run cost — including the run's
+// one-time setup (workload generation, machine construction, history
+// clones) — by the number of rounds. They are trajectory metrics for
+// the full engine path, not a pure round-loop microbenchmark; for the
+// isolated round loop see BenchmarkRoundLoop in bench_test.go.
+type perfRecord struct {
+	Algorithm      string  `json:"algorithm"`
+	Workload       string  `json:"workload"`
+	N              int     `json:"n"`
+	Seed           int64   `json:"seed"`
+	Rounds         int     `json:"rounds"`
+	TotalNs        int64   `json:"total_ns"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+}
+
+// runPerf executes each algorithm × workload × size combination once
+// and writes the records as a JSON array to stdout.
+func runPerf(algos, workloads []string, sizes []int, seed int64) error {
+	if len(sizes) == 0 {
+		sizes = []int{256, 1024}
+	}
+	var records []perfRecord
+	for _, algo := range algos {
+		for _, wl := range workloads {
+			for _, n := range sizes {
+				rec, err := measure(algo, wl, n, seed)
+				if err != nil {
+					return fmt.Errorf("%s/%s n=%d: %w", algo, wl, n, err)
+				}
+				records = append(records, rec)
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+func measure(algo, workload string, n int, seed int64) (perfRecord, error) {
+	req := expt.Request{Algorithm: algo, Workload: workload, N: n, Seed: seed}
+	// One untimed warm-up keeps process-level one-time costs (lazy
+	// init, heap growth) out of the measured pass; per-run setup is
+	// still included, as documented on perfRecord.
+	if _, err := expt.Execute(req); err != nil {
+		return perfRecord{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	out, err := expt.Execute(req)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return perfRecord{}, err
+	}
+	rounds := out.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	return perfRecord{
+		Algorithm:      algo,
+		Workload:       workload,
+		N:              n,
+		Seed:           seed,
+		Rounds:         out.Rounds,
+		TotalNs:        elapsed.Nanoseconds(),
+		NsPerRound:     float64(elapsed.Nanoseconds()) / float64(rounds),
+		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(rounds),
+		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+	}, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -2,29 +2,49 @@ package graph
 
 import "sort"
 
+// bfsSlots runs a breadth-first search from the slot src and returns
+// per-slot distances (-1 for unreachable) plus the number of reached
+// slots. It works entirely on dense indices, so the only per-call
+// allocations are the two result-sized slices.
+func (g *Graph) bfsSlots(src int) (dist []int, reached int) {
+	dist = make([]int, len(g.ids))
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, len(g.ids))
+	dist[src] = 0
+	queue = append(queue, src)
+	reached = 1
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			sv := g.index[v]
+			if dist[sv] < 0 {
+				dist[sv] = du + 1
+				queue = append(queue, sv)
+				reached++
+			}
+		}
+	}
+	return dist, reached
+}
+
 // BFS runs a breadth-first search from src and returns the distance of
 // every reachable node. Unreachable nodes are absent from the map.
 func (g *Graph) BFS(src ID) map[ID]int {
-	dist := make(map[ID]int, len(g.adj))
-	if !g.HasNode(src) {
-		return dist
+	out := make(map[ID]int, len(g.ids))
+	s, ok := g.index[src]
+	if !ok {
+		return out
 	}
-	dist[src] = 0
-	frontier := []ID{src}
-	for len(frontier) > 0 {
-		var next []ID
-		for _, u := range frontier {
-			du := dist[u]
-			for v := range g.adj[u] {
-				if _, seen := dist[v]; !seen {
-					dist[v] = du + 1
-					next = append(next, v)
-				}
-			}
+	dist, _ := g.bfsSlots(s)
+	for slot, d := range dist {
+		if d >= 0 {
+			out[g.ids[slot]] = d
 		}
-		frontier = next
 	}
-	return dist
+	return out
 }
 
 // Dist returns the hop distance between u and v, or -1 if v is
@@ -43,22 +63,22 @@ func (g *Graph) Dist(u, v ID) int {
 // IsConnected reports whether g is connected. The empty graph counts as
 // connected.
 func (g *Graph) IsConnected() bool {
-	if len(g.adj) == 0 {
+	if len(g.ids) == 0 {
 		return true
 	}
-	var src ID
-	for u := range g.adj {
-		src = u
-		break
-	}
-	return len(g.BFS(src)) == len(g.adj)
+	_, reached := g.bfsSlots(0)
+	return reached == len(g.ids)
 }
 
 // Eccentricity returns the greatest distance from u to any node, or -1
 // if some node is unreachable.
 func (g *Graph) Eccentricity(u ID) int {
-	dist := g.BFS(u)
-	if len(dist) != len(g.adj) {
+	s, ok := g.index[u]
+	if !ok {
+		return -1
+	}
+	dist, reached := g.bfsSlots(s)
+	if reached != len(g.ids) {
 		return -1
 	}
 	ecc := 0
@@ -75,7 +95,7 @@ func (g *Graph) Eccentricity(u ID) int {
 // O(n·m); use ApproxDiameter for large instances.
 func (g *Graph) Diameter() int {
 	diam := 0
-	for u := range g.adj {
+	for _, u := range g.ids {
 		ecc := g.Eccentricity(u)
 		if ecc < 0 {
 			return -1
@@ -92,20 +112,16 @@ func (g *Graph) Diameter() int {
 // start). It returns -1 if g is disconnected. The true diameter lies in
 // [result, 2·result].
 func (g *Graph) ApproxDiameter() int {
-	if len(g.adj) == 0 {
+	if len(g.ids) == 0 {
 		return 0
 	}
-	var src ID
-	for u := range g.adj {
-		src = u
-		break
-	}
-	dist := g.BFS(src)
-	if len(dist) != len(g.adj) {
+	dist, reached := g.bfsSlots(0)
+	if reached != len(g.ids) {
 		return -1
 	}
-	far, farD := src, 0
-	for v, d := range dist {
+	far, farD := g.ids[0], 0
+	for slot, d := range dist {
+		v := g.ids[slot]
 		if d > farD || (d == farD && v < far) {
 			far, farD = v, d
 		}

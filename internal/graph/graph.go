@@ -7,6 +7,15 @@
 // Node identity doubles as the paper's unique identifier (UID): the
 // algorithms in internal/core are comparison based, so a node's ID is
 // the only thing they ever compare.
+//
+// Representation (see DESIGN.md): nodes are interned into dense slots
+// (ID → int) and adjacency is stored as sorted []ID slices per slot,
+// with the edge count maintained incrementally. This keeps the round
+// loop of internal/sim allocation free: NeighborsInto and EachNeighbor
+// expose the sorted adjacency without copying-and-sorting maps, and
+// NumEdges is O(1). Nodes are never removed, so MaxID is incremental
+// too. The public semantics are identical to the original map-based
+// implementation (see TestDenseMatchesMapModel).
 package graph
 
 import (
@@ -50,24 +59,34 @@ func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.A, e.B) }
 // Graph is a simple undirected graph. The zero value is not usable;
 // call New.
 type Graph struct {
-	adj map[ID]map[ID]struct{}
+	index map[ID]int // ID → dense slot, assigned in insertion order
+	ids   []ID       // slot → ID
+	adj   [][]ID     // slot → neighbor IDs, sorted ascending
+	edges int        // undirected edge count, maintained incrementally
+	maxID ID         // largest ID ever added (-1 when empty); nodes are never removed
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{adj: make(map[ID]map[ID]struct{})}
+	return &Graph{index: make(map[ID]int), maxID: -1}
 }
 
 // AddNode inserts an isolated node. Adding an existing node is a no-op.
 func (g *Graph) AddNode(u ID) {
-	if _, ok := g.adj[u]; !ok {
-		g.adj[u] = make(map[ID]struct{})
+	if _, ok := g.index[u]; ok {
+		return
+	}
+	g.index[u] = len(g.ids)
+	g.ids = append(g.ids, u)
+	g.adj = append(g.adj, nil)
+	if u > g.maxID {
+		g.maxID = u
 	}
 }
 
 // HasNode reports whether u is a node of g.
 func (g *Graph) HasNode(u ID) bool {
-	_, ok := g.adj[u]
+	_, ok := g.index[u]
 	return ok
 }
 
@@ -80,8 +99,13 @@ func (g *Graph) AddEdge(u, v ID) error {
 	}
 	g.AddNode(u)
 	g.AddNode(v)
-	g.adj[u][v] = struct{}{}
-	g.adj[v][u] = struct{}{}
+	su, sv := g.index[u], g.index[v]
+	var inserted bool
+	g.adj[su], inserted = insertSorted(g.adj[su], v)
+	if inserted {
+		g.adj[sv], _ = insertSorted(g.adj[sv], u)
+		g.edges++
+	}
 	return nil
 }
 
@@ -96,60 +120,129 @@ func (g *Graph) MustAddEdge(u, v ID) {
 // RemoveEdge deletes the undirected edge {u, v} if present and reports
 // whether it existed.
 func (g *Graph) RemoveEdge(u, v ID) bool {
-	if !g.HasEdge(u, v) {
+	su, ok := g.index[u]
+	if !ok {
 		return false
 	}
-	delete(g.adj[u], v)
-	delete(g.adj[v], u)
+	sv, ok := g.index[v]
+	if !ok {
+		return false
+	}
+	var removed bool
+	g.adj[su], removed = removeSorted(g.adj[su], v)
+	if !removed {
+		return false
+	}
+	g.adj[sv], _ = removeSorted(g.adj[sv], u)
+	g.edges--
 	return true
 }
 
 // HasEdge reports whether the undirected edge {u, v} is present.
 func (g *Graph) HasEdge(u, v ID) bool {
-	nbrs, ok := g.adj[u]
+	su, ok := g.index[u]
 	if !ok {
 		return false
 	}
-	_, ok = nbrs[v]
-	return ok
+	sv, ok := g.index[v]
+	if !ok {
+		return false
+	}
+	// Search the lower-degree endpoint.
+	if len(g.adj[su]) > len(g.adj[sv]) {
+		su, v = sv, u
+	}
+	return containsSorted(g.adj[su], v)
 }
 
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.adj) }
+func (g *Graph) NumNodes() int { return len(g.ids) }
 
-// NumEdges returns the number of undirected edges.
-func (g *Graph) NumEdges() int {
-	total := 0
-	for _, nbrs := range g.adj {
-		total += len(nbrs)
-	}
-	return total / 2
-}
+// NumEdges returns the number of undirected edges in O(1).
+func (g *Graph) NumEdges() int { return g.edges }
 
 // Nodes returns all node IDs in ascending order.
 func (g *Graph) Nodes() []ID {
-	out := make([]ID, 0, len(g.adj))
-	for u := range g.adj {
-		out = append(out, u)
-	}
+	out := make([]ID, len(g.ids))
+	copy(out, g.ids)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Neighbors returns the neighbors of u in ascending order. The result
-// is a fresh slice owned by the caller.
+// is a fresh slice owned by the caller; use NeighborsInto or
+// EachNeighbor on hot paths.
 func (g *Graph) Neighbors(u ID) []ID {
-	nbrs := g.adj[u]
-	out := make([]ID, 0, len(nbrs))
-	for v := range nbrs {
-		out = append(out, v)
+	su, ok := g.index[u]
+	if !ok {
+		return []ID{}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]ID, len(g.adj[su]))
+	copy(out, g.adj[su])
 	return out
 }
 
+// NeighborsInto appends the neighbors of u, ascending, to dst[:0] and
+// returns it, reusing dst's backing array when it is large enough. The
+// result aliases dst, not the graph's internal storage.
+func (g *Graph) NeighborsInto(u ID, dst []ID) []ID {
+	dst = dst[:0]
+	if su, ok := g.index[u]; ok {
+		dst = append(dst, g.adj[su]...)
+	}
+	return dst
+}
+
+// EachNeighbor calls fn for every neighbor of u in ascending order,
+// stopping early if fn returns false. It performs no allocation. The
+// graph must not be mutated during the iteration.
+func (g *Graph) EachNeighbor(u ID, fn func(v ID) bool) {
+	su, ok := g.index[u]
+	if !ok {
+		return
+	}
+	for _, v := range g.adj[su] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// HaveCommonNeighbor reports whether u and v share at least one common
+// neighbor, by merge-walking the two sorted adjacency lists. It is the
+// allocation-free primitive behind the model's distance-2 rule.
+func (g *Graph) HaveCommonNeighbor(u, v ID) bool {
+	su, ok := g.index[u]
+	if !ok {
+		return false
+	}
+	sv, ok := g.index[v]
+	if !ok {
+		return false
+	}
+	a, b := g.adj[su], g.adj[sv]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
 // Degree returns the degree of u.
-func (g *Graph) Degree(u ID) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u ID) int {
+	su, ok := g.index[u]
+	if !ok {
+		return 0
+	}
+	return len(g.adj[su])
+}
 
 // MaxDegree returns the maximum degree over all nodes (0 for the empty
 // graph).
@@ -165,30 +258,33 @@ func (g *Graph) MaxDegree() int {
 
 // Edges returns all edges in canonical form, sorted lexicographically.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, g.NumEdges())
-	for u, nbrs := range g.adj {
-		for v := range nbrs {
+	out := make([]Edge, 0, g.edges)
+	for _, u := range g.Nodes() {
+		for _, v := range g.adj[g.index[u]] {
 			if u < v {
 				out = append(out, Edge{A: u, B: v})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
 	return out
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := New()
-	for u, nbrs := range g.adj {
-		c.AddNode(u)
-		for v := range nbrs {
-			c.adj[u][v] = struct{}{}
+	c := &Graph{
+		index: make(map[ID]int, len(g.index)),
+		ids:   make([]ID, len(g.ids)),
+		adj:   make([][]ID, len(g.adj)),
+		edges: g.edges,
+		maxID: g.maxID,
+	}
+	copy(c.ids, g.ids)
+	for u, s := range g.index {
+		c.index[u] = s
+	}
+	for s, nbrs := range g.adj {
+		if len(nbrs) > 0 {
+			c.adj[s] = append([]ID(nil), nbrs...)
 		}
 	}
 	return c
@@ -196,17 +292,53 @@ func (g *Graph) Clone() *Graph {
 
 // MaxID returns the largest node ID in g, or -1 for an empty graph.
 // In the paper's terms this is u_max, the eventual unique leader.
-func (g *Graph) MaxID() ID {
-	maxID := ID(-1)
-	for u := range g.adj {
-		if u > maxID {
-			maxID = u
-		}
-	}
-	return maxID
-}
+func (g *Graph) MaxID() ID { return g.maxID }
 
 // String implements fmt.Stringer with a compact summary.
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph(n=%d, m=%d)", g.NumNodes(), g.NumEdges())
+}
+
+// insertSorted inserts v into the ascending slice s, reporting whether
+// it was not already present.
+func insertSorted(s []ID, v ID) ([]ID, bool) {
+	i := searchID(s, v)
+	if i < len(s) && s[i] == v {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s, true
+}
+
+// removeSorted deletes v from the ascending slice s, reporting whether
+// it was present.
+func removeSorted(s []ID, v ID) ([]ID, bool) {
+	i := searchID(s, v)
+	if i >= len(s) || s[i] != v {
+		return s, false
+	}
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1], true
+}
+
+// containsSorted reports whether v occurs in the ascending slice s.
+func containsSorted(s []ID, v ID) bool {
+	i := searchID(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// searchID returns the smallest index i with s[i] >= v (binary search).
+func searchID(s []ID, v ID) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }

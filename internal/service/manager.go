@@ -243,12 +243,16 @@ func (m *Manager) Submit(spec RunSpec) (job *Job, cached bool, err error) {
 		m.mu.Unlock()
 		return nil, false, ErrClosed
 	}
-	// Join an identical in-flight spec — unless it has been canceled,
-	// in which case the new submitter deserves a fresh run, not
-	// someone else's cancellation.
+	// Join an identical in-flight spec — unless it has been canceled
+	// (the new submitter deserves a fresh run, not someone else's
+	// cancellation) or has already reached a terminal state (a finished
+	// job can linger in inWork until its worker's deferred cleanup
+	// runs; joining it would skip a requested re-execution).
 	if live, ok := m.inWork[key]; ok && !wasCanceled(live.cancel) {
-		m.mu.Unlock()
-		return live, false, nil
+		if st := live.State(); st == StateQueued || st == StateRunning {
+			m.mu.Unlock()
+			return live, false, nil
+		}
 	}
 	j := m.newJob(spec, false)
 	j.state = StateQueued

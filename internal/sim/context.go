@@ -44,8 +44,22 @@ func (c *Context) Round() int { return c.round }
 // engineering-level scheduling, as documented in DESIGN.md).
 func (c *Context) N() int { return c.env.N }
 
-// Neighbors returns N1 at the start of the round, ascending.
+// Neighbors returns N1 at the start of the round, ascending. The slice
+// is fresh and owned by the caller; prefer EachNeighbor or
+// NeighborsInto in per-round hot paths.
 func (c *Context) Neighbors() []graph.ID { return c.hist.NeighborsOf(c.id) }
+
+// EachNeighbor calls fn for every current neighbor in ascending order,
+// stopping early if fn returns false. It performs no allocation.
+func (c *Context) EachNeighbor(fn func(v graph.ID) bool) {
+	c.hist.EachNeighborOf(c.id, fn)
+}
+
+// NeighborsInto appends N1, ascending, to dst[:0] and returns it,
+// reusing dst's backing array when it has capacity.
+func (c *Context) NeighborsInto(dst []graph.ID) []graph.ID {
+	return c.hist.NeighborsInto(c.id, dst)
+}
 
 // HasNeighbor reports whether v is currently a neighbor.
 func (c *Context) HasNeighbor(v graph.ID) bool { return c.hist.Active(c.id, v) }
@@ -72,11 +86,13 @@ func (c *Context) Send(to graph.ID, payload any) {
 	c.outbox = append(c.outbox, Message{From: c.id, To: to, Payload: payload})
 }
 
-// Broadcast queues the payload to every current neighbor.
+// Broadcast queues the payload to every current neighbor. It iterates
+// the sorted adjacency directly and does not allocate a neighbor slice.
 func (c *Context) Broadcast(payload any) {
-	for _, v := range c.Neighbors() {
-		c.Send(v, payload)
-	}
+	c.hist.EachNeighborOf(c.id, func(v graph.ID) bool {
+		c.outbox = append(c.outbox, Message{From: c.id, To: v, Payload: payload})
+		return true
+	})
 }
 
 // Activate requests activation of edge {self, v} this round. The model

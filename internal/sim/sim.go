@@ -91,8 +91,11 @@ var ErrCanceled = errors.New("sim: execution canceled")
 
 // RoundEvent is passed to round hooks after each completed round.
 type RoundEvent struct {
-	Round    int
-	Messages []Message // all messages delivered this round, sender-sorted per recipient
+	Round int
+	// Messages holds all messages delivered this round, sender-sorted
+	// per recipient. The slice's backing array is reused by the engine
+	// on the next round: hooks that retain messages must copy them.
+	Messages []Message
 	Stats    temporal.RoundStats
 }
 
@@ -231,7 +234,12 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 		return nil
 	}
 
+	// Per-round buffers, allocated once and reused: the steady-state
+	// round loop performs no allocation of its own (see bench_test.go's
+	// BenchmarkRoundLoop).
 	inboxes := make([][]Message, n)
+	var delivered []Message
+	var acts, deacts []graph.Edge
 	totalMsgs, maxMsgs := 0, 0
 	for round := 1; round <= cfg.maxRounds; round++ {
 		if cfg.done != nil {
@@ -257,7 +265,7 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 		for i := range inboxes {
 			inboxes[i] = inboxes[i][:0]
 		}
-		var delivered []Message
+		roundMsgs := 0
 		for i := range ctxs {
 			for _, m := range ctxs[i].outbox {
 				if !hist.Active(m.From, m.To) {
@@ -265,11 +273,8 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 						fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", round, m.From, m.To)
 				}
 				inboxes[index[m.To]] = append(inboxes[index[m.To]], m)
+				roundMsgs++
 			}
-		}
-		roundMsgs := 0
-		for i := range inboxes {
-			roundMsgs += len(inboxes[i])
 		}
 		totalMsgs += roundMsgs
 		if roundMsgs > maxMsgs {
@@ -279,6 +284,7 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 		// ascending node order and each sender's messages keep their
 		// queueing order.
 		if len(cfg.hooks) > 0 {
+			delivered = delivered[:0]
 			for i := range inboxes {
 				delivered = append(delivered, inboxes[i]...)
 			}
@@ -297,7 +303,7 @@ func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
 		}
 
 		// --- Activate / Deactivate ---
-		var acts, deacts []graph.Edge
+		acts, deacts = acts[:0], deacts[:0]
 		for i := range ctxs {
 			acts = append(acts, ctxs[i].acts...)
 			deacts = append(deacts, ctxs[i].deacts...)

@@ -13,6 +13,7 @@ package temporal
 
 import (
 	"fmt"
+	"sort"
 
 	"adnet/internal/graph"
 )
@@ -76,6 +77,15 @@ type History struct {
 	trace      bool
 	traceAct   [][]graph.Edge
 	traceDeact [][]graph.Edge
+
+	// Scratch buffers reused across Apply calls so the round loop does
+	// not allocate. Apply is called from exactly one goroutine (the
+	// engine's round driver), never concurrently with itself; the
+	// read-only query methods remain safe to call concurrently.
+	scratchRawAct   []graph.Edge // every canonical activation request, sorted
+	scratchRawDeact []graph.Edge // every canonical deactivation request, sorted
+	scratchAct      []graph.Edge // validated new activations, sorted+deduped
+	scratchDeact    []graph.Edge // validated deactivations, sorted+deduped
 }
 
 // NewHistory starts an execution from the initial graph Gs = D(1).
@@ -119,23 +129,43 @@ func (h *History) InitialNeighborsOf(u graph.ID) []graph.ID { return h.initial.N
 // DegreeOf returns |N1(u)|.
 func (h *History) DegreeOf(u graph.ID) int { return h.current.Degree(u) }
 
+// NeighborsInto appends u's active neighbors, ascending, to dst[:0]
+// and returns it (allocation free once dst has capacity).
+func (h *History) NeighborsInto(u graph.ID, dst []graph.ID) []graph.ID {
+	return h.current.NeighborsInto(u, dst)
+}
+
+// EachNeighborOf calls fn for every active neighbor of u in ascending
+// order, stopping early if fn returns false. It performs no allocation
+// and, like the other query methods, reads the snapshot E(i), so it is
+// safe to call from concurrently stepped machines.
+func (h *History) EachNeighborOf(u graph.ID, fn func(v graph.ID) bool) {
+	h.current.EachNeighbor(u, fn)
+}
+
 // PotentialNeighbors returns N2(u): nodes at distance exactly 2 from u
-// in the current snapshot, in ascending order.
+// in the current snapshot, in ascending order. The two-hop candidates
+// are collected by merging the sorted adjacency lists and deduplicated
+// by a sort, with no intermediate map.
 func (h *History) PotentialNeighbors(u graph.ID) []graph.ID {
-	seen := make(map[graph.ID]struct{})
-	for _, v := range h.current.Neighbors(u) {
-		for _, w := range h.current.Neighbors(v) {
+	var out []graph.ID
+	h.current.EachNeighbor(u, func(v graph.ID) bool {
+		h.current.EachNeighbor(v, func(w graph.ID) bool {
 			if w != u && !h.current.HasEdge(u, w) {
-				seen[w] = struct{}{}
+				out = append(out, w)
 			}
+			return true
+		})
+		return true
+	})
+	sortIDs(out)
+	dedup := out[:0]
+	for i, w := range out {
+		if i == 0 || out[i-1] != w {
+			dedup = append(dedup, w)
 		}
 	}
-	out := make([]graph.ID, 0, len(seen))
-	for w := range seen {
-		out = append(out, w)
-	}
-	sortIDs(out)
-	return out
+	return dedup
 }
 
 // CurrentClone returns a copy of the current snapshot D(i).
@@ -172,50 +202,75 @@ func (h *History) ActivatedSubgraph() *graph.Graph {
 //   - self-loops are violations.
 //
 // Apply returns the per-round statistics for the completed round.
+//
+// Intents are validated in caller order (so the first violating edge in
+// the activate slice is the one reported), then applied in ascending
+// canonical edge order: the application — and therefore TraceRound —
+// is deterministic regardless of how callers ordered their intents.
+// All scratch state is reused across rounds; Apply performs no
+// steady-state allocation when tracing is disabled.
 func (h *History) Apply(activate, deactivate []graph.Edge) (RoundStats, error) {
-	// Validate and dedupe against E(i).
-	rawAct := make(map[graph.Edge]struct{}, len(activate))
-	actSet := make(map[graph.Edge]struct{})
+	// Validate against E(i) in caller order.
+	rawAct := h.scratchRawAct[:0]
+	acts := h.scratchAct[:0]
 	for _, e := range activate {
 		if e.A == e.B {
+			h.scratchRawAct, h.scratchAct = rawAct, acts[:0]
 			return RoundStats{}, &Violation{Round: h.round, Edge: e, Op: "activate", Why: "self-loop"}
 		}
-		rawAct[graph.NewEdge(e.A, e.B)] = struct{}{}
-		if h.current.HasEdge(e.A, e.B) {
+		ce := graph.NewEdge(e.A, e.B)
+		rawAct = append(rawAct, ce)
+		if h.current.HasEdge(ce.A, ce.B) {
 			continue // no-op per the model
 		}
-		if !h.haveCommonNeighbor(e.A, e.B) {
+		if !h.current.HaveCommonNeighbor(ce.A, ce.B) {
+			h.scratchRawAct, h.scratchAct = rawAct, acts[:0]
 			return RoundStats{}, &Violation{
 				Round: h.round, Edge: e, Op: "activate",
 				Why: "no common active neighbor (distance-2 rule)",
 			}
 		}
-		actSet[graph.NewEdge(e.A, e.B)] = struct{}{}
+		acts = append(acts, ce)
 	}
+	rawDeact := h.scratchRawDeact[:0]
+	for _, e := range deactivate {
+		rawDeact = append(rawDeact, graph.NewEdge(e.A, e.B))
+	}
+	sortEdges(rawAct)
+	sortEdges(rawDeact)
+
 	// "In case u and v disagree on their decision about edge uv, then
 	// their actions have no effect on uv": an edge that is requested
 	// both activated and deactivated in the same round (necessarily by
 	// different endpoints, and one request is necessarily invalid) is
 	// left untouched. The disagreement check uses the raw requests,
 	// before no-op filtering.
-	rawDeact := make(map[graph.Edge]struct{}, len(deactivate))
-	for _, e := range deactivate {
-		rawDeact[graph.NewEdge(e.A, e.B)] = struct{}{}
+	sortEdges(acts)
+	acts = dedupeEdges(acts)
+	kept := acts[:0]
+	for _, e := range acts {
+		if !containsEdge(rawDeact, e) {
+			kept = append(kept, e)
+		}
 	}
-	deactSet := make(map[graph.Edge]struct{})
-	for e := range rawDeact {
-		if _, disagreed := rawAct[e]; disagreed {
-			delete(actSet, e)
-			continue
+	acts = kept
+
+	deacts := h.scratchDeact[:0]
+	for i, e := range rawDeact {
+		if i > 0 && rawDeact[i-1] == e {
+			continue // duplicate request
+		}
+		if containsEdge(rawAct, e) {
+			continue // disagreement: no effect
 		}
 		if !h.current.HasEdge(e.A, e.B) {
 			continue // no-op per the model
 		}
-		deactSet[e] = struct{}{}
+		deacts = append(deacts, e)
 	}
 
-	var tAct, tDeact []graph.Edge
-	for e := range actSet {
+	// Apply, in ascending canonical edge order.
+	for _, e := range acts {
 		h.current.MustAddEdge(e.A, e.B)
 		h.totalActivations++
 		if !h.initial.HasEdge(e.A, e.B) {
@@ -223,20 +278,14 @@ func (h *History) Apply(activate, deactivate []graph.Edge) (RoundStats, error) {
 			h.bumpActivatedDeg(e.A, +1)
 			h.bumpActivatedDeg(e.B, +1)
 		}
-		if h.trace {
-			tAct = append(tAct, e)
-		}
 	}
-	for e := range deactSet {
+	for _, e := range deacts {
 		h.current.RemoveEdge(e.A, e.B)
 		h.totalDeactivations++
 		if _, ok := h.activatedAlive[e]; ok {
 			delete(h.activatedAlive, e)
 			h.bumpActivatedDeg(e.A, -1)
 			h.bumpActivatedDeg(e.B, -1)
-		}
-		if h.trace {
-			tDeact = append(tDeact, e)
 		}
 	}
 
@@ -247,22 +296,28 @@ func (h *History) Apply(activate, deactivate []graph.Edge) (RoundStats, error) {
 		h.maxActiveEdges = m
 	}
 
-	if len(actSet)+len(deactSet) > 0 {
+	if len(acts)+len(deacts) > 0 {
 		h.lastActivity = h.round
 	}
 	stats := RoundStats{
 		Round:          h.round,
-		Activated:      len(actSet),
-		Deactivated:    len(deactSet),
+		Activated:      len(acts),
+		Deactivated:    len(deacts),
 		ActiveEdges:    h.current.NumEdges(),
 		ActivatedAlive: len(h.activatedAlive),
 	}
 	h.perRound = append(h.perRound, stats)
 	if h.trace {
-		h.traceAct = append(h.traceAct, tAct)
-		h.traceDeact = append(h.traceDeact, tDeact)
+		h.traceAct = append(h.traceAct, append([]graph.Edge(nil), acts...))
+		h.traceDeact = append(h.traceDeact, append([]graph.Edge(nil), deacts...))
 	}
 	h.round++
+
+	// Hand the (possibly regrown) backing arrays back for the next round.
+	h.scratchRawAct = rawAct
+	h.scratchRawDeact = rawDeact
+	h.scratchAct = acts
+	h.scratchDeact = deacts
 	return stats, nil
 }
 
@@ -278,17 +333,35 @@ func (h *History) bumpActivatedDeg(u graph.ID, delta int) {
 	}
 }
 
-func (h *History) haveCommonNeighbor(u, v graph.ID) bool {
-	// Iterate over the lower-degree endpoint.
-	if h.current.Degree(u) > h.current.Degree(v) {
-		u, v = v, u
-	}
-	for _, w := range h.current.Neighbors(u) {
-		if h.current.HasEdge(w, v) {
-			return true
+func sortEdges(es []graph.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].A != es[j].A {
+			return es[i].A < es[j].A
+		}
+		return es[i].B < es[j].B
+	})
+}
+
+// dedupeEdges removes adjacent duplicates from a sorted slice, in place.
+func dedupeEdges(es []graph.Edge) []graph.Edge {
+	out := es[:0]
+	for i, e := range es {
+		if i == 0 || es[i-1] != e {
+			out = append(out, e)
 		}
 	}
-	return false
+	return out
+}
+
+// containsEdge reports whether the sorted slice es contains e.
+func containsEdge(es []graph.Edge, e graph.Edge) bool {
+	i := sort.Search(len(es), func(i int) bool {
+		if es[i].A != e.A {
+			return es[i].A > e.A
+		}
+		return es[i].B >= e.B
+	})
+	return i < len(es) && es[i] == e
 }
 
 // Metrics returns the aggregated cost measures so far.
@@ -324,9 +397,5 @@ func (h *History) TraceRound(i int) (act, deact []graph.Edge, ok bool) {
 }
 
 func sortIDs(ids []graph.ID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }

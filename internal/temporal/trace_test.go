@@ -1,0 +1,121 @@
+package temporal
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adnet/internal/graph"
+)
+
+// edgesSorted reports whether es is in ascending canonical order.
+func edgesSorted(es []graph.Edge) bool {
+	for i := 1; i < len(es); i++ {
+		p, q := es[i-1], es[i]
+		if p.A > q.A || (p.A == q.A && p.B >= q.B) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTraceRoundDeterministicOrder is the regression test for the
+// nondeterministic trace order bug: Apply used to range over intent
+// maps, so TraceRound returned edges in a random order across runs.
+// The trace must now come back in ascending canonical edge order, and
+// be identical no matter how callers permute their intent slices.
+func TestTraceRoundDeterministicOrder(t *testing.T) {
+	t.Parallel()
+	n := 64
+	baseActs := func() []graph.Edge {
+		var acts []graph.Edge
+		// Chords {u, u+2} are legal on a ring via the common neighbor u+1.
+		for u := 0; u < n; u++ {
+			acts = append(acts, graph.NewEdge(graph.ID(u), graph.ID((u+2)%n)))
+		}
+		return acts
+	}
+
+	var want []graph.Edge
+	for trial := 0; trial < 10; trial++ {
+		h := NewHistory(graph.Ring(n))
+		h.EnableTrace()
+		acts := baseActs()
+		rng := rand.New(rand.NewSource(int64(trial)))
+		rng.Shuffle(len(acts), func(i, j int) { acts[i], acts[j] = acts[j], acts[i] })
+		if _, err := h.Apply(acts, nil); err != nil {
+			t.Fatalf("trial %d: Apply: %v", trial, err)
+		}
+		// Deactivate a shuffled half of them in round 2.
+		deacts := acts[:len(acts)/2]
+		if _, err := h.Apply(nil, deacts); err != nil {
+			t.Fatalf("trial %d: Apply deacts: %v", trial, err)
+		}
+
+		act1, deact1, ok := h.TraceRound(1)
+		if !ok {
+			t.Fatalf("trial %d: no trace for round 1", trial)
+		}
+		if len(deact1) != 0 {
+			t.Fatalf("trial %d: unexpected deactivations in round 1: %v", trial, deact1)
+		}
+		if !edgesSorted(act1) {
+			t.Fatalf("trial %d: round-1 trace not in canonical order: %v", trial, act1)
+		}
+		_, deact2, ok := h.TraceRound(2)
+		if !ok {
+			t.Fatalf("trial %d: no trace for round 2", trial)
+		}
+		if !edgesSorted(deact2) {
+			t.Fatalf("trial %d: round-2 deactivation trace not sorted: %v", trial, deact2)
+		}
+		if trial == 0 {
+			want = act1
+			continue
+		}
+		if !reflect.DeepEqual(act1, want) {
+			t.Fatalf("trial %d: trace differs across permutations:\n got %v\nwant %v", trial, act1, want)
+		}
+	}
+}
+
+// TestApplyScratchReuseIsolation checks that the reusable scratch
+// buffers never leak state between rounds: a round's stats and trace
+// must be unaffected by what previous rounds requested.
+func TestApplyScratchReuseIsolation(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(graph.Line(8))
+	h.EnableTrace()
+	// Round 1: activate {0,2} and {1,3}, with duplicates.
+	acts := []graph.Edge{graph.NewEdge(0, 2), graph.NewEdge(1, 3), graph.NewEdge(2, 0)}
+	st, err := h.Apply(acts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Activated != 2 {
+		t.Fatalf("round 1 activated = %d, want 2", st.Activated)
+	}
+	// Round 2: no intents at all — nothing from round 1 may bleed in.
+	st, err = h.Apply(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Activated != 0 || st.Deactivated != 0 {
+		t.Fatalf("round 2 stats = %+v, want no activity", st)
+	}
+	act, deact, ok := h.TraceRound(2)
+	if !ok || len(act) != 0 || len(deact) != 0 {
+		t.Fatalf("round 2 trace = (%v, %v, %v), want empty", act, deact, ok)
+	}
+	// Round 3: disagreement — {0,2} requested both ways stays active.
+	st, err = h.Apply([]graph.Edge{graph.NewEdge(0, 2)}, []graph.Edge{graph.NewEdge(0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Activated != 0 || st.Deactivated != 0 {
+		t.Fatalf("disagreement round stats = %+v, want no activity", st)
+	}
+	if !h.Active(0, 2) {
+		t.Fatal("edge {0,2} should have survived the disagreement round")
+	}
+}
