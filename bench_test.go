@@ -377,6 +377,50 @@ func benchRound(b *testing.B, sizes []int, factory func(n int) sim.Factory) {
 	}
 }
 
+// BenchmarkEngineReuse measures the PR 3 headline: many runs through
+// one reused Engine versus back-to-back sim.Run. Same workload, same
+// semantics; the engine variant reuses contexts, inboxes, history
+// scratch and the pinned worker pool across runs, so allocs/op (one
+// op = one full run) drop by well over 5×.
+func BenchmarkEngineReuse(b *testing.B) {
+	const rounds = 16
+	for _, n := range []int{256, 1024} {
+		g := graph.Ring(n)
+		f := func(id graph.ID, env sim.Env) sim.Machine {
+			return &benchRoundMachine{rounds: rounds}
+		}
+		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
+			e := sim.NewEngine()
+			defer e.Close()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := e.Reset(g, f); err != nil {
+					b.Fatal(err)
+				}
+				res, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds != rounds {
+					b.Fatalf("rounds = %d", res.Rounds)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("run/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(g, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds != rounds {
+					b.Fatalf("rounds = %d", res.Rounds)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRoundLoop measures the engine's message-only round loop:
 // n broadcasting nodes on a ring, no edge reconfiguration.
 func BenchmarkRoundLoop(b *testing.B) {

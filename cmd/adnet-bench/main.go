@@ -10,11 +10,21 @@
 //	adnet-bench -tradeoff 512   # the headline comparison at one size
 //
 // With -json the command switches to the machine-readable performance
-// mode used to track the perf trajectory across PRs (BENCH_*.json):
+// mode used to track the perf trajectory across PRs (BENCH_*.json).
+// The grid is enumerated through the same sweep path the service uses
+// (expt.SweepSpec) and executed on one reusable engine:
 //
 //	adnet-bench -json                          # default perf suite
 //	adnet-bench -json -algos graph-to-star \
-//	            -workloads line,ring -sizes 1024,4096 > BENCH_PR2.json
+//	            -workloads line,ring -sizes 1024,4096 > BENCH_PR3.json
+//
+// With -compare the command re-measures the grid recorded in a
+// committed BENCH_*.json and diffs the two, failing when
+// allocs/round (deterministic) or, if enabled, ns/round regress
+// beyond the thresholds. This is the CI perf gate:
+//
+//	adnet-bench -compare BENCH_PR2.json -alloc-threshold 0.25
+//	adnet-bench -compare BENCH_PR2.json -sizes 256 -workloads line
 //
 // Each record reports the workload, rounds executed, wall-clock
 // ns/round and heap allocations (count and bytes) per round.
@@ -41,6 +51,9 @@ func main() {
 	algosFlag := flag.String("algos", "graph-to-star", "perf mode: comma-separated algorithms")
 	workloadsFlag := flag.String("workloads", "line,ring", "perf mode: comma-separated workloads")
 	seed := flag.Int64("seed", 1, "perf mode: workload seed")
+	compare := flag.String("compare", "", "re-measure the grid of this BENCH_*.json and diff (CI perf gate)")
+	allocTh := flag.Float64("alloc-threshold", 0.25, "compare: max tolerated allocs/round regression (fraction)")
+	nsTh := flag.Float64("ns-threshold", 0, "compare: max tolerated ns/round regression (fraction; 0 = report only)")
 	flag.Parse()
 
 	var sizes []int
@@ -52,6 +65,22 @@ func main() {
 			}
 			sizes = append(sizes, v)
 		}
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *compare != "" {
+		err := runCompare(compareFilter{
+			path:      *compare,
+			algos:     filterSet(explicit["algos"], splitList(*algosFlag)),
+			workloads: filterSet(explicit["workloads"], splitList(*workloadsFlag)),
+			sizes:     sizes,
+			allocTh:   *allocTh,
+			nsTh:      *nsTh,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *jsonOut {
 		if err := runPerf(splitList(*algosFlag), splitList(*workloadsFlag), sizes, *seed); err != nil {
@@ -86,9 +115,11 @@ func main() {
 //
 // The *_per_round figures divide whole-run cost — including the run's
 // one-time setup (workload generation, machine construction, history
-// clones) — by the number of rounds. They are trajectory metrics for
+// reset) — by the number of rounds. They are trajectory metrics for
 // the full engine path, not a pure round-loop microbenchmark; for the
-// isolated round loop see BenchmarkRoundLoop in bench_test.go.
+// isolated round loop see BenchmarkRoundLoop in bench_test.go. Since
+// PR 3 the measured pass runs on a reused engine (expt.Runner), the
+// same path sweeps take.
 type perfRecord struct {
 	Algorithm      string  `json:"algorithm"`
 	Workload       string  `json:"workload"`
@@ -101,42 +132,51 @@ type perfRecord struct {
 	BytesPerRound  float64 `json:"bytes_per_round"`
 }
 
-// runPerf executes each algorithm × workload × size combination once
+// runPerf executes the algorithm × workload × size grid — enumerated
+// through the sweep path — once per cell on a single reused engine
 // and writes the records as a JSON array to stdout.
 func runPerf(algos, workloads []string, sizes []int, seed int64) error {
 	if len(sizes) == 0 {
 		sizes = []int{256, 1024}
 	}
+	spec := expt.SweepSpec{
+		Algorithms: algos,
+		Workloads:  workloads,
+		Sizes:      sizes,
+		Seeds:      []int64{seed},
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	r := expt.NewRunner()
+	defer r.Close()
 	var records []perfRecord
-	for _, algo := range algos {
-		for _, wl := range workloads {
-			for _, n := range sizes {
-				rec, err := measure(algo, wl, n, seed)
-				if err != nil {
-					return fmt.Errorf("%s/%s n=%d: %w", algo, wl, n, err)
-				}
-				records = append(records, rec)
-			}
+	for _, cell := range spec.Cells() {
+		rec, err := measure(r, cell)
+		if err != nil {
+			return fmt.Errorf("%s/%s n=%d: %w", cell.Algorithm, cell.Workload, cell.N, err)
 		}
+		records = append(records, rec)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(records)
 }
 
-func measure(algo, workload string, n int, seed int64) (perfRecord, error) {
-	req := expt.Request{Algorithm: algo, Workload: workload, N: n, Seed: seed}
-	// One untimed warm-up keeps process-level one-time costs (lazy
-	// init, heap growth) out of the measured pass; per-run setup is
-	// still included, as documented on perfRecord.
-	if _, err := expt.Execute(req); err != nil {
+// measure times one cell on the shared Runner. One untimed warm-up
+// keeps process-level one-time costs (lazy init, heap growth, engine
+// buffer growth) out of the measured pass; per-run setup is still
+// included, as documented on perfRecord.
+func measure(r *expt.Runner, cell expt.Cell) (perfRecord, error) {
+	req := cell.Request()
+	if _, err := r.Execute(req); err != nil {
 		return perfRecord{}, err
 	}
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	out, err := expt.Execute(req)
+	out, err := r.Execute(req)
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	if err != nil {
@@ -147,16 +187,135 @@ func measure(algo, workload string, n int, seed int64) (perfRecord, error) {
 		rounds = 1
 	}
 	return perfRecord{
-		Algorithm:      algo,
-		Workload:       workload,
-		N:              n,
-		Seed:           seed,
+		Algorithm:      cell.Algorithm,
+		Workload:       cell.Workload,
+		N:              cell.N,
+		Seed:           cell.Seed,
 		Rounds:         out.Rounds,
 		TotalNs:        elapsed.Nanoseconds(),
 		NsPerRound:     float64(elapsed.Nanoseconds()) / float64(rounds),
 		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(rounds),
 		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
 	}, nil
+}
+
+// compareFilter scopes a -compare pass: nil/empty filters keep every
+// baseline record.
+type compareFilter struct {
+	path      string
+	algos     map[string]bool
+	workloads map[string]bool
+	sizes     []int
+	allocTh   float64
+	nsTh      float64
+}
+
+func (f compareFilter) keep(rec perfRecord) bool {
+	if f.algos != nil && !f.algos[rec.Algorithm] {
+		return false
+	}
+	if f.workloads != nil && !f.workloads[rec.Workload] {
+		return false
+	}
+	if len(f.sizes) > 0 {
+		found := false
+		for _, n := range f.sizes {
+			if n == rec.N {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// runCompare re-measures the baseline's grid on the current binary and
+// prints per-record deltas. It returns an error (non-zero exit) when
+// allocs/round — a deterministic function of the code path — regresses
+// beyond allocTh, or ns/round beyond nsTh when nsTh > 0.
+func runCompare(f compareFilter) error {
+	data, err := os.ReadFile(f.path)
+	if err != nil {
+		return err
+	}
+	var baseline []perfRecord
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("%s: %w", f.path, err)
+	}
+	r := expt.NewRunner()
+	defer r.Close()
+
+	fmt.Printf("%-16s %-10s %6s | %12s %12s %8s | %10s %10s %8s\n",
+		"algorithm", "workload", "n", "ns/rd(base)", "ns/rd(now)", "Δns",
+		"allocs(base)", "allocs(now)", "Δallocs")
+	var regressions []string
+	kept := 0
+	for _, base := range baseline {
+		if !f.keep(base) {
+			continue
+		}
+		kept++
+		cur, err := measure(r, expt.Cell{
+			Algorithm: base.Algorithm, Workload: base.Workload, N: base.N, Seed: base.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/%s n=%d: %w", base.Algorithm, base.Workload, base.N, err)
+		}
+		dNs := delta(base.NsPerRound, cur.NsPerRound)
+		dAllocs := delta(base.AllocsPerRound, cur.AllocsPerRound)
+		fmt.Printf("%-16s %-10s %6d | %12.0f %12.0f %7.1f%% | %10.1f %10.1f %7.1f%%\n",
+			base.Algorithm, base.Workload, base.N,
+			base.NsPerRound, cur.NsPerRound, 100*dNs,
+			base.AllocsPerRound, cur.AllocsPerRound, 100*dAllocs)
+		id := fmt.Sprintf("%s/%s n=%d", base.Algorithm, base.Workload, base.N)
+		if dAllocs > f.allocTh {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/round %+.1f%% (threshold %.0f%%)", id, 100*dAllocs, 100*f.allocTh))
+		}
+		if f.nsTh > 0 && dNs > f.nsTh {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/round %+.1f%% (threshold %.0f%%)", id, 100*dNs, 100*f.nsTh))
+		}
+	}
+	if kept == 0 {
+		return fmt.Errorf("no baseline records in %s match the filters", f.path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("perf regressions vs %s:\n  %s", f.path, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("OK: %d records within thresholds (allocs ≤ +%.0f%%%s)\n",
+		kept, 100*f.allocTh, nsNote(f.nsTh))
+	return nil
+}
+
+func nsNote(nsTh float64) string {
+	if nsTh > 0 {
+		return fmt.Sprintf(", ns ≤ +%.0f%%", 100*nsTh)
+	}
+	return ", ns informational"
+}
+
+// delta is the relative change from base to cur, with an allocation
+// floor so near-zero baselines don't explode the ratio.
+func delta(base, cur float64) float64 {
+	if base < 1 {
+		base = 1
+	}
+	return (cur - base) / base
+}
+
+func filterSet(explicit bool, names []string) map[string]bool {
+	if !explicit {
+		return nil
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
 }
 
 func splitList(s string) []string {

@@ -14,6 +14,9 @@
 //	    -d '{"algorithm":"graph-to-star","workload":"line","n":1024,"seed":7}'
 //	curl -s localhost:8080/v1/runs/<id>
 //	curl -sN localhost:8080/v1/runs/<id>/rounds
+//	curl -sN -X POST localhost:8080/v1/sweeps \
+//	    -d '{"algorithms":["graph-to-star"],"workloads":["line","ring"],
+//	         "sizes":[256,1024],"seeds":[1,2,3]}'
 package main
 
 import (
@@ -39,15 +42,21 @@ func main() {
 	maxN := flag.Int("max-n", service.DefaultMaxN, "largest accepted network size")
 	timeLimit := flag.Duration("time-limit", 2*time.Minute, "wall-clock budget per run")
 	retain := flag.Int("retain", 1024, "finished jobs kept queryable")
+	sweepWorkers := flag.Int("sweep-workers", 0, "engine fleet size per sweep (0 = GOMAXPROCS)")
+	sweepCells := flag.Int("sweep-cells", 1024, "largest accepted sweep grid (cells)")
+	sweeps := flag.Int("sweeps", 2, "concurrent sweeps before 503")
 	flag.Parse()
 
 	mgr := service.NewManager(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
-		MaxN:         *maxN,
-		RunTimeLimit: *timeLimit,
-		RetainJobs:   *retain,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CacheSize:           *cache,
+		MaxN:                *maxN,
+		RunTimeLimit:        *timeLimit,
+		RetainJobs:          *retain,
+		SweepWorkers:        *sweepWorkers,
+		MaxSweepCells:       *sweepCells,
+		MaxConcurrentSweeps: *sweeps,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

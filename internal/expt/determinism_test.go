@@ -1,0 +1,137 @@
+package expt
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"adnet/internal/core"
+	"adnet/internal/sim"
+)
+
+// TestOutcomeDeterministicAcrossParallelism runs every distributed
+// algorithm on a randomized workload with 1, 2 and GOMAXPROCS workers
+// and requires identical Outcomes: worker count is an engineering
+// knob, never an observable.
+func TestOutcomeDeterministicAcrossParallelism(t *testing.T) {
+	t.Parallel()
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	cases := []struct {
+		algo     string
+		workload string
+		n        int
+	}{
+		{AlgoStar, "random", 96},
+		{AlgoWreath, "bounded-degree", 96},
+		{AlgoThinWreath, "bounded-degree", 96},
+		{AlgoClique, "random-tree", 64},
+		{AlgoFlood, "random", 96},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.algo, func(t *testing.T) {
+			t.Parallel()
+			g, err := Workload(tc.workload, tc.n, 1234)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var base Outcome
+			for i, w := range workerCounts {
+				out, err := RunAlgorithmOpts(tc.algo, g, sim.WithParallelism(w))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if i == 0 {
+					base = out
+					continue
+				}
+				if out != base {
+					t.Errorf("workers=%d diverged:\n%+v\nvs workers=%d:\n%+v",
+						w, out, workerCounts[0], base)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceDeterministicAcrossParallelism pins the stronger property:
+// the full per-round activation/deactivation trace — not just the
+// aggregate outcome — is identical across worker counts.
+func TestTraceDeterministicAcrossParallelism(t *testing.T) {
+	t.Parallel()
+	g, err := Workload("random", 128, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *sim.Result {
+		res, err := sim.Run(g, core.NewGraphToStarFactory(),
+			sim.WithParallelism(workers), sim.WithTrace())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		res := run(w)
+		if res.Rounds != base.Rounds {
+			t.Fatalf("workers=%d: rounds %d vs %d", w, res.Rounds, base.Rounds)
+		}
+		for i := 1; i <= base.Rounds; i++ {
+			wantA, wantD, _ := base.History.TraceRound(i)
+			gotA, gotD, ok := res.History.TraceRound(i)
+			if !ok || !reflect.DeepEqual(wantA, gotA) || !reflect.DeepEqual(wantD, gotD) {
+				t.Fatalf("workers=%d: trace diverged at round %d", w, i)
+			}
+		}
+	}
+}
+
+// TestRunnerIsolationAcrossAlgorithms is the engine-reuse isolation
+// test at the harness level: interleaving different algorithms and
+// graph families on one Runner must leave each run's outcome
+// untouched by its predecessors.
+func TestRunnerIsolationAcrossAlgorithms(t *testing.T) {
+	t.Parallel()
+	r := NewRunner()
+	defer r.Close()
+	seq := []Request{
+		{Algorithm: AlgoWreath, Workload: "bounded-degree", N: 64, Seed: 5},
+		{Algorithm: AlgoFlood, Workload: "line", N: 16, Seed: 5},
+		{Algorithm: AlgoStar, Workload: "increasing-ring", N: 128, Seed: 5},
+		{Algorithm: AlgoWreath, Workload: "bounded-degree", N: 64, Seed: 5}, // repeat
+	}
+	got := make([]Outcome, len(seq))
+	for i, req := range seq {
+		out, err := r.Execute(req)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		got[i] = out
+	}
+	if got[0] != got[3] {
+		t.Errorf("same spec diverged across engine reuse:\n%+v\n%+v", got[0], got[3])
+	}
+	for i, req := range seq {
+		fresh, err := Execute(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != fresh {
+			t.Errorf("step %d leaked state: reused %+v, fresh %+v", i, got[i], fresh)
+		}
+	}
+	// The deeper structural check: a fresh graph run right after the
+	// interleaving still satisfies its post-condition.
+	gstar, err := Workload("line", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.RunAlgorithm(AlgoStar, gstar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.LeaderOK || out.FinalDiameter > 2 {
+		t.Errorf("post-reuse run broke post-condition: %+v", out)
+	}
+}

@@ -77,8 +77,17 @@ func RunAlgorithm(name string, gs *graph.Graph) (Outcome, error) {
 }
 
 // RunAlgorithmOpts is RunAlgorithm with extra simulation options
-// appended after the algorithm's defaults.
+// appended after the algorithm's defaults. It runs on a throwaway
+// engine; hold a Runner instead when executing many runs.
 func RunAlgorithmOpts(name string, gs *graph.Graph, extra ...sim.Option) (Outcome, error) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	return runAlgorithm(eng, name, gs, extra...)
+}
+
+// runAlgorithm is the shared engine-backed execution path behind
+// RunAlgorithmOpts, Runner.RunAlgorithm and ExecuteSweep.
+func runAlgorithm(eng *sim.Engine, name string, gs *graph.Graph, extra ...sim.Option) (Outcome, error) {
 	known := false
 	for _, a := range Algorithms() {
 		if a == name {
@@ -132,7 +141,10 @@ func RunAlgorithmOpts(name string, gs *graph.Graph, extra ...sim.Option) (Outcom
 		return Outcome{}, fmt.Errorf("expt: unknown algorithm %q", name)
 	}
 	opts = append(opts, extra...)
-	res, err := sim.Run(gs, factory, opts...)
+	if err := eng.Reset(gs, factory, opts...); err != nil {
+		return Outcome{}, fmt.Errorf("expt: %s on n=%d: %w", name, n, err)
+	}
+	res, err := eng.Run()
 	if err != nil {
 		return Outcome{}, fmt.Errorf("expt: %s on n=%d: %w", name, n, err)
 	}

@@ -1,0 +1,370 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+	"adnet/internal/temporal"
+)
+
+// Runner is an engine-backed executor: it holds one sim.Engine and
+// reuses its buffers (contexts, inboxes, history scratch, worker
+// pool) across Execute calls. One Runner serves one goroutine; for
+// parallel grids use ExecuteSweep, which runs a shard-per-worker
+// fleet of Runners.
+type Runner struct {
+	eng *sim.Engine
+}
+
+// NewRunner returns a fresh Runner. Close it to release the engine's
+// worker pool.
+func NewRunner() *Runner { return &Runner{eng: sim.NewEngine()} }
+
+// Close releases the underlying engine.
+func (r *Runner) Close() { r.eng.Close() }
+
+// Execute builds the workload and runs the algorithm on it, like the
+// package-level Execute but reusing the Runner's engine.
+func (r *Runner) Execute(req Request) (Outcome, error) {
+	g, err := Workload(req.Workload, req.N, req.Seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return r.RunAlgorithm(req.Algorithm, g, req.SimOpts...)
+}
+
+// RunAlgorithm executes the named algorithm on gs through the
+// Runner's engine, with extra simulation options appended after the
+// algorithm's defaults.
+func (r *Runner) RunAlgorithm(name string, gs *graph.Graph, extra ...sim.Option) (Outcome, error) {
+	return runAlgorithm(r.eng, name, gs, extra...)
+}
+
+// Cell is one point of a sweep grid: a deterministic run request.
+type Cell struct {
+	Algorithm string `json:"algorithm"`
+	Workload  string `json:"workload"`
+	N         int    `json:"n"`
+	Seed      int64  `json:"seed"`
+	MaxRounds int    `json:"max_rounds,omitempty"`
+}
+
+// Request converts the cell to the spec-driven Request form.
+func (c Cell) Request() Request {
+	req := Request{Algorithm: c.Algorithm, Workload: c.Workload, N: c.N, Seed: c.Seed}
+	if c.MaxRounds > 0 {
+		req.SimOpts = append(req.SimOpts, sim.WithMaxRounds(c.MaxRounds))
+	}
+	return req
+}
+
+// SweepSpec describes a (algorithms × workloads × sizes × seeds)
+// grid. MaxRounds, when positive, overrides every cell's round limit.
+// Repeated values within a dimension are ignored (first occurrence
+// wins), so a grid never contains duplicate cells: NumCells, Cells
+// and Validate all see the deduplicated dimensions.
+type SweepSpec struct {
+	Algorithms []string
+	Workloads  []string
+	Sizes      []int
+	Seeds      []int64
+	MaxRounds  int
+}
+
+// normalized returns the spec with duplicate dimension values
+// removed, preserving first-occurrence order.
+func (s SweepSpec) normalized() SweepSpec {
+	return SweepSpec{
+		Algorithms: dedup(s.Algorithms),
+		Workloads:  dedup(s.Workloads),
+		Sizes:      dedup(s.Sizes),
+		Seeds:      dedup(s.Seeds),
+		MaxRounds:  s.MaxRounds,
+	}
+}
+
+// NumCells returns the grid size (after dimension deduplication).
+func (s SweepSpec) NumCells() int {
+	n := s.normalized()
+	return len(n.Algorithms) * len(n.Workloads) * len(n.Sizes) * len(n.Seeds)
+}
+
+// Cells enumerates the grid in canonical order: algorithm-major, then
+// workload, size, seed. Sweep results and streams always follow this
+// order.
+func (s SweepSpec) Cells() []Cell {
+	s = s.normalized()
+	cells := make([]Cell, 0, s.NumCells())
+	for _, a := range s.Algorithms {
+		for _, w := range s.Workloads {
+			for _, n := range s.Sizes {
+				for _, seed := range s.Seeds {
+					cells = append(cells, Cell{
+						Algorithm: a, Workload: w, N: n, Seed: seed, MaxRounds: s.MaxRounds,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// dedup removes repeated values, keeping first-occurrence order.
+func dedup[T comparable](xs []T) []T {
+	seen := make(map[T]struct{}, len(xs))
+	out := xs[:0:0]
+	for _, x := range xs {
+		if _, ok := seen[x]; ok {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}
+
+// Validate checks that every named algorithm and workload exists,
+// every size is at least 2, and the grid is non-empty.
+func (s SweepSpec) Validate() error {
+	if s.NumCells() == 0 {
+		return errors.New("expt: empty sweep grid (every dimension needs at least one value)")
+	}
+	for _, a := range s.Algorithms {
+		if !knownName(Algorithms(), a) {
+			return fmt.Errorf("expt: unknown algorithm %q", a)
+		}
+	}
+	for _, w := range s.Workloads {
+		if !knownName(Workloads(), w) {
+			return fmt.Errorf("expt: unknown workload %q", w)
+		}
+	}
+	for _, n := range s.Sizes {
+		if n < 2 {
+			return fmt.Errorf("expt: sweep size %d below minimum 2", n)
+		}
+	}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("expt: max rounds must be non-negative, got %d", s.MaxRounds)
+	}
+	return nil
+}
+
+// CellResult is the measured product of one grid cell.
+type CellResult struct {
+	Index     int    // position in SweepSpec.Cells order
+	Cell      Cell   //
+	Outcome   Outcome
+	Rounds    []temporal.RoundStats // per-round stats when CollectRounds (or served by Lookup)
+	FromCache bool                  // answered by Lookup without running
+	Ran       bool                  // a simulation actually executed
+	Err       error                 // run failure or cancellation for this cell
+}
+
+// SweepOptions configures ExecuteSweep.
+type SweepOptions struct {
+	// Workers sizes the engine fleet (default GOMAXPROCS, capped at
+	// the number of cells). Each worker owns one Runner, so per-run
+	// buffers are reused across that worker's shard of the grid.
+	Workers int
+	// SimOpts are appended to every cell's run (after algorithm
+	// defaults and the cell's own MaxRounds). When the fleet has more
+	// than one worker, each run's engine parallelism defaults to 1 —
+	// the fleet, not per-run stepping, is the unit of concurrency —
+	// and a sim.WithParallelism here overrides that.
+	SimOpts []sim.Option
+	// CellTimeLimit, when positive, is the wall-clock budget per
+	// cell; runs over budget are aborted between rounds and recorded
+	// as that cell's error.
+	CellTimeLimit time.Duration
+	// CollectRounds records per-round statistics into each
+	// CellResult (cheap: five ints per round), so callers can cache
+	// or stream them.
+	CollectRounds bool
+	// Lookup, when set, is consulted before running a cell; a hit
+	// skips the simulation. Store, when set, receives every
+	// successful fresh result. Both may be called concurrently from
+	// worker goroutines.
+	Lookup func(Cell) (Outcome, []temporal.RoundStats, bool)
+	Store  func(CellResult)
+	// Emit, when set, receives every CellResult in canonical cell
+	// order, from the calling goroutine, as soon as ordering allows.
+	Emit func(CellResult)
+	// Cancel aborts the sweep: cells not yet started fail fast with
+	// sim.ErrCanceled, in-flight runs are aborted between rounds.
+	Cancel <-chan struct{}
+}
+
+// ExecuteSweep runs the whole grid on a shard-per-worker fleet of
+// engine-backed Runners and returns the results in canonical cell
+// order. Individual cell failures are recorded in CellResult.Err and
+// do not abort the sweep; the returned error is non-nil only for an
+// invalid spec or a canceled sweep.
+func ExecuteSweep(spec SweepSpec, opts SweepOptions) ([]CellResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cells := spec.Cells()
+	results := make([]CellResult, len(cells))
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	// With a multi-worker fleet the CPUs are already saturated by
+	// cell-level sharding: default every run to sequential stepping
+	// (a caller-supplied WithParallelism, applied later, wins).
+	simOpts := opts.SimOpts
+	if workers > 1 {
+		simOpts = append([]sim.Option{sim.WithParallelism(1)}, opts.SimOpts...)
+	}
+
+	canceled := func() bool {
+		if opts.Cancel == nil {
+			return false
+		}
+		select {
+		case <-opts.Cancel:
+			return true
+		default:
+			return false
+		}
+	}
+
+	feed := make(chan int)
+	done := make(chan int, len(cells))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := NewRunner()
+			defer r.Close()
+			for i := range feed {
+				results[i] = runCell(r, i, cells[i], simOpts, opts, canceled)
+				done <- i
+			}
+		}()
+	}
+	go func() {
+		for i := range cells {
+			feed <- i
+		}
+		close(feed)
+	}()
+
+	// Drain completions, emitting in canonical order.
+	pending := make(map[int]bool, workers)
+	next := 0
+	for range cells {
+		i := <-done
+		pending[i] = true
+		for pending[next] {
+			if opts.Emit != nil {
+				opts.Emit(results[next])
+			}
+			delete(pending, next)
+			next++
+		}
+	}
+	wg.Wait()
+
+	if canceled() {
+		return results, fmt.Errorf("expt: sweep: %w", sim.ErrCanceled)
+	}
+	return results, nil
+}
+
+// runCell executes (or serves from Lookup) one cell on the worker's
+// Runner.
+func runCell(r *Runner, idx int, cell Cell, simOpts []sim.Option, opts SweepOptions, canceled func() bool) CellResult {
+	res := CellResult{Index: idx, Cell: cell}
+	if canceled() {
+		res.Err = fmt.Errorf("expt: cell skipped: %w", sim.ErrCanceled)
+		return res
+	}
+	if opts.Lookup != nil {
+		if out, rounds, ok := opts.Lookup(cell); ok {
+			res.Outcome, res.Rounds, res.FromCache = out, rounds, true
+			return res
+		}
+	}
+	req := cell.Request()
+	req.SimOpts = append(req.SimOpts, simOpts...)
+	if opts.CollectRounds {
+		req.SimOpts = append(req.SimOpts, sim.WithRoundHook(func(ev sim.RoundEvent) {
+			res.Rounds = append(res.Rounds, ev.Stats)
+		}))
+	}
+	var timedOut *atomic.Bool
+	if opts.Cancel != nil || opts.CellTimeLimit > 0 {
+		done, to, stop := mergeCancel(opts.Cancel, opts.CellTimeLimit)
+		defer stop()
+		timedOut = to
+		req.SimOpts = append(req.SimOpts, sim.WithCancel(done))
+	}
+	res.Ran = true
+	out, err := r.Execute(req)
+	if err != nil {
+		if timedOut != nil && timedOut.Load() {
+			err = fmt.Errorf("expt: cell time limit %s exceeded: %w", opts.CellTimeLimit, err)
+		}
+		res.Err = err
+		return res
+	}
+	res.Outcome = out
+	if opts.Store != nil {
+		opts.Store(res)
+	}
+	return res
+}
+
+// mergeCancel fans a sweep-level cancel channel and an optional
+// per-cell wall-clock budget into one done channel for sim.WithCancel.
+// stop releases the helper goroutine; timedOut reports (after the run
+// returns) whether the budget, rather than the cancel, fired.
+func mergeCancel(cancel <-chan struct{}, limit time.Duration) (done <-chan struct{}, timedOut *atomic.Bool, stop func()) {
+	d := make(chan struct{})
+	finished := make(chan struct{})
+	timedOut = new(atomic.Bool)
+	var timeout <-chan time.Time
+	var timer *time.Timer
+	if limit > 0 {
+		timer = time.NewTimer(limit)
+		timeout = timer.C
+	}
+	go func() {
+		if timer != nil {
+			defer timer.Stop()
+		}
+		select {
+		case <-timeout:
+			timedOut.Store(true)
+			close(d)
+		case <-cancel: // nil channel blocks forever: fine
+			close(d)
+		case <-finished:
+		}
+	}()
+	var once sync.Once
+	return d, timedOut, func() { once.Do(func() { close(finished) }) }
+}
+
+func knownName(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

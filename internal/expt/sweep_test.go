@@ -1,0 +1,278 @@
+package expt
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adnet/internal/sim"
+	"adnet/internal/temporal"
+)
+
+func TestSweepSpecCellsCanonicalOrder(t *testing.T) {
+	t.Parallel()
+	spec := SweepSpec{
+		Algorithms: []string{AlgoFlood, AlgoStar},
+		Workloads:  []string{"line"},
+		Sizes:      []int{8, 16},
+		Seeds:      []int64{1, 2},
+	}
+	cells := spec.Cells()
+	if len(cells) != spec.NumCells() || len(cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(cells))
+	}
+	want := Cell{Algorithm: AlgoFlood, Workload: "line", N: 8, Seed: 1}
+	if cells[0] != want {
+		t.Fatalf("cells[0] = %+v", cells[0])
+	}
+	if cells[4].Algorithm != AlgoStar {
+		t.Fatalf("cells not algorithm-major: %+v", cells[4])
+	}
+}
+
+func TestSweepSpecDedupesDimensions(t *testing.T) {
+	t.Parallel()
+	spec := SweepSpec{
+		Algorithms: []string{AlgoFlood, AlgoFlood},
+		Workloads:  []string{"line", "ring", "line"},
+		Sizes:      []int{8, 8, 16},
+		Seeds:      []int64{1, 1},
+	}
+	if got := spec.NumCells(); got != 1*2*2*1 {
+		t.Fatalf("NumCells = %d, want 4 after dedup", got)
+	}
+	cells := spec.Cells()
+	if len(cells) != 4 {
+		t.Fatalf("Cells = %d, want 4", len(cells))
+	}
+	seen := map[Cell]bool{}
+	for _, c := range cells {
+		if seen[c] {
+			t.Fatalf("duplicate cell %+v survived dedup", c)
+		}
+		seen[c] = true
+	}
+	// First-occurrence order is preserved.
+	if cells[0].Workload != "line" || cells[1].Workload != "line" || cells[2].Workload != "ring" {
+		t.Fatalf("dedup reordered dimensions: %+v", cells)
+	}
+}
+
+func TestSweepSpecValidate(t *testing.T) {
+	t.Parallel()
+	ok := SweepSpec{Algorithms: []string{AlgoFlood}, Workloads: []string{"line"},
+		Sizes: []int{4}, Seeds: []int64{1}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []SweepSpec{
+		{Algorithms: []string{"nope"}, Workloads: []string{"line"}, Sizes: []int{4}, Seeds: []int64{1}},
+		{Algorithms: []string{AlgoFlood}, Workloads: []string{"nope"}, Sizes: []int{4}, Seeds: []int64{1}},
+		{Algorithms: []string{AlgoFlood}, Workloads: []string{"line"}, Sizes: []int{1}, Seeds: []int64{1}},
+		{Algorithms: []string{AlgoFlood}, Workloads: []string{"line"}, Sizes: []int{4}, Seeds: nil},
+		{},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestExecuteSweepMatchesIndividualRuns(t *testing.T) {
+	t.Parallel()
+	spec := SweepSpec{
+		Algorithms: []string{AlgoFlood, AlgoStar},
+		Workloads:  []string{"line", "random-tree"},
+		Sizes:      []int{16, 32},
+		Seeds:      []int64{3},
+	}
+	var emitted []int
+	results, err := ExecuteSweep(spec, SweepOptions{
+		Workers: 3,
+		Emit:    func(cr CellResult) { emitted = append(emitted, cr.Index) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != spec.NumCells() {
+		t.Fatalf("results = %d, want %d", len(results), spec.NumCells())
+	}
+	// Emit order is canonical regardless of worker scheduling.
+	for i, idx := range emitted {
+		if idx != i {
+			t.Fatalf("emit order %v not canonical", emitted)
+		}
+	}
+	for i, cr := range results {
+		if cr.Err != nil {
+			t.Fatalf("cell %d: %v", i, cr.Err)
+		}
+		if !cr.Ran || cr.FromCache {
+			t.Fatalf("cell %d flags: %+v", i, cr)
+		}
+		want, err := Execute(cr.Cell.Request())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr.Outcome != want {
+			t.Errorf("cell %d (%+v): outcome %+v, individual run %+v", i, cr.Cell, cr.Outcome, want)
+		}
+	}
+}
+
+func TestExecuteSweepLookupAndStore(t *testing.T) {
+	t.Parallel()
+	spec := SweepSpec{
+		Algorithms: []string{AlgoFlood},
+		Workloads:  []string{"line"},
+		Sizes:      []int{8, 16},
+		Seeds:      []int64{1, 2},
+	}
+	var mu sync.Mutex
+	type entry struct {
+		out    Outcome
+		rounds []temporal.RoundStats
+	}
+	cache := map[Cell]entry{}
+	opts := SweepOptions{
+		Workers:       2,
+		CollectRounds: true,
+		Lookup: func(c Cell) (Outcome, []temporal.RoundStats, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			e, ok := cache[c]
+			return e.out, e.rounds, ok
+		},
+		Store: func(cr CellResult) {
+			mu.Lock()
+			defer mu.Unlock()
+			cache[cr.Cell] = entry{out: cr.Outcome, rounds: cr.Rounds}
+		},
+	}
+	first, err := ExecuteSweep(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cr := range first {
+		if cr.Err != nil || !cr.Ran || cr.FromCache {
+			t.Fatalf("first pass cell %d: %+v", i, cr)
+		}
+		if len(cr.Rounds) != cr.Outcome.Rounds {
+			t.Fatalf("cell %d collected %d rounds, outcome ran %d", i, len(cr.Rounds), cr.Outcome.Rounds)
+		}
+	}
+	second, err := ExecuteSweep(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cr := range second {
+		if cr.Err != nil || cr.Ran || !cr.FromCache {
+			t.Fatalf("second pass cell %d not served from cache: %+v", i, cr)
+		}
+		if cr.Outcome != first[i].Outcome {
+			t.Fatalf("cached outcome differs for cell %d", i)
+		}
+		if !reflect.DeepEqual(cr.Rounds, first[i].Rounds) {
+			t.Fatalf("cached rounds differ for cell %d", i)
+		}
+	}
+}
+
+func TestExecuteSweepCellErrorDoesNotAbort(t *testing.T) {
+	t.Parallel()
+	// bounded-degree at tiny n errors in the generator for some seeds;
+	// instead rely on a round-limited star run: MaxRounds 1 cannot
+	// finish GraphToStar, so that cell errs while flood succeeds.
+	spec := SweepSpec{
+		Algorithms: []string{AlgoStar},
+		Workloads:  []string{"line"},
+		Sizes:      []int{32},
+		Seeds:      []int64{1},
+		MaxRounds:  1,
+	}
+	results, err := ExecuteSweep(spec, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("round-limited cell did not err")
+	}
+	if !errors.Is(results[0].Err, sim.ErrRoundLimit) {
+		t.Fatalf("cell err = %v, want round limit", results[0].Err)
+	}
+}
+
+func TestExecuteSweepCellTimeLimit(t *testing.T) {
+	t.Parallel()
+	// A 10ms budget against runs that take hundreds of milliseconds:
+	// every cell errs with the time-limit message, but the sweep
+	// itself still completes.
+	spec := SweepSpec{
+		Algorithms: []string{AlgoStar},
+		Workloads:  []string{"line"},
+		Sizes:      []int{4096},
+		Seeds:      []int64{1, 2},
+	}
+	results, err := ExecuteSweep(spec, SweepOptions{Workers: 1, CellTimeLimit: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cr := range results {
+		if cr.Err == nil {
+			t.Fatalf("cell %d finished within 1ns", i)
+		}
+		if !errors.Is(cr.Err, sim.ErrCanceled) || !strings.Contains(cr.Err.Error(), "time limit") {
+			t.Fatalf("cell %d err = %v, want time-limit cancellation", i, cr.Err)
+		}
+	}
+}
+
+func TestExecuteSweepCancel(t *testing.T) {
+	t.Parallel()
+	spec := SweepSpec{
+		Algorithms: []string{AlgoFlood},
+		Workloads:  []string{"line"},
+		Sizes:      []int{8, 16, 32, 64},
+		Seeds:      []int64{1, 2, 3, 4},
+	}
+	cancel := make(chan struct{})
+	close(cancel) // canceled before the sweep starts
+	results, err := ExecuteSweep(spec, SweepOptions{Workers: 2, Cancel: cancel})
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	for i, cr := range results {
+		if cr.Err == nil {
+			t.Fatalf("cell %d ran after cancellation", i)
+		}
+	}
+}
+
+func TestRunnerReuseMatchesExecute(t *testing.T) {
+	t.Parallel()
+	r := NewRunner()
+	defer r.Close()
+	reqs := []Request{
+		{Algorithm: AlgoStar, Workload: "line", N: 64, Seed: 1},
+		{Algorithm: AlgoFlood, Workload: "random-tree", N: 48, Seed: 9},
+		{Algorithm: AlgoClique, Workload: "ring", N: 24, Seed: 2},
+		{Algorithm: AlgoStar, Workload: "line", N: 64, Seed: 1}, // repeat of the first
+	}
+	for i, req := range reqs {
+		got, err := r.Execute(req)
+		if err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+		want, err := Execute(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("req %d: runner %+v, fresh %+v", i, got, want)
+		}
+	}
+}

@@ -294,6 +294,82 @@ func (g *Graph) Clone() *Graph {
 // In the paper's terms this is u_max, the eventual unique leader.
 func (g *Graph) MaxID() ID { return g.maxID }
 
+// Slot returns u's dense slot (assigned in insertion order) and
+// whether u is a node of g. Slots are stable as long as no node is
+// added: the simulation engine relies on this to address per-node
+// state by index instead of by map lookup.
+func (g *Graph) Slot(u ID) (int, bool) {
+	s, ok := g.index[u]
+	return s, ok
+}
+
+// IDAt returns the ID occupying the given slot. The slot must be in
+// [0, NumNodes()).
+func (g *Graph) IDAt(slot int) ID { return g.ids[slot] }
+
+// HasEdgeSlots reports whether the edge between the nodes at slots su
+// and sv is present. Both slots must be valid; it is the map-free
+// counterpart of HasEdge for slot-addressed callers.
+func (g *Graph) HasEdgeSlots(su, sv int) bool {
+	// Search the lower-degree endpoint.
+	if len(g.adj[su]) > len(g.adj[sv]) {
+		su, sv = sv, su
+	}
+	return containsSorted(g.adj[su], g.ids[sv])
+}
+
+// NeighborsView returns u's neighbors in ascending order as a view of
+// the graph's internal storage: zero-copy, but callers must not modify
+// it, and any mutation of g invalidates it. Unknown nodes yield nil.
+func (g *Graph) NeighborsView(u ID) []ID {
+	su, ok := g.index[u]
+	if !ok {
+		return nil
+	}
+	return g.adj[su]
+}
+
+// AppendNodes appends all node IDs in slot order to dst[:0] and
+// returns it, reusing dst's backing array when it has capacity. For
+// canonical graphs (see CopyCanonicalFrom) slot order is ascending ID
+// order.
+func (g *Graph) AppendNodes(dst []ID) []ID {
+	return append(dst[:0], g.ids...)
+}
+
+// CopyCanonicalFrom makes g a canonical deep copy of src: the same
+// nodes and edges, with slots assigned in ascending ID order. Existing
+// backing arrays (ids, adjacency lists, the index map) are reused, so
+// repeated copies into the same receiver do not allocate in steady
+// state. The temporal.History layer keeps its graphs canonical this
+// way, which is what lets the engine equate slots with ascending-ID
+// ranks.
+func (g *Graph) CopyCanonicalFrom(src *Graph) {
+	n := len(src.ids)
+	g.ids = append(g.ids[:0], src.ids...)
+	sort.Slice(g.ids, func(i, j int) bool { return g.ids[i] < g.ids[j] })
+	if g.index == nil {
+		g.index = make(map[ID]int, n)
+	} else {
+		clear(g.index)
+	}
+	for i, id := range g.ids {
+		g.index[id] = i
+	}
+	if cap(g.adj) < n {
+		adj := make([][]ID, n)
+		copy(adj, g.adj[:cap(g.adj)])
+		g.adj = adj
+	} else {
+		g.adj = g.adj[:n]
+	}
+	for i, id := range g.ids {
+		g.adj[i] = append(g.adj[i][:0], src.adj[src.index[id]]...)
+	}
+	g.edges = src.edges
+	g.maxID = src.maxID
+}
+
 // String implements fmt.Stringer with a compact summary.
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph(n=%d, m=%d)", g.NumNodes(), g.NumEdges())

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSlotAccessors(t *testing.T) {
+	t.Parallel()
+	g := New()
+	g.MustAddEdge(5, 2)
+	g.MustAddEdge(2, 9)
+	for _, u := range g.Nodes() {
+		s, ok := g.Slot(u)
+		if !ok {
+			t.Fatalf("Slot(%d) missing", u)
+		}
+		if got := g.IDAt(s); got != u {
+			t.Fatalf("IDAt(Slot(%d)) = %d", u, got)
+		}
+	}
+	if _, ok := g.Slot(77); ok {
+		t.Fatal("Slot(77) reported present")
+	}
+	s2, _ := g.Slot(2)
+	s5, _ := g.Slot(5)
+	s9, _ := g.Slot(9)
+	if !g.HasEdgeSlots(s2, s5) || !g.HasEdgeSlots(s9, s2) {
+		t.Fatal("HasEdgeSlots missed present edges")
+	}
+	if g.HasEdgeSlots(s5, s9) {
+		t.Fatal("HasEdgeSlots invented edge {5,9}")
+	}
+}
+
+func TestNeighborsViewSharesStorage(t *testing.T) {
+	t.Parallel()
+	g := Line(4)
+	v := g.NeighborsView(1)
+	if !reflect.DeepEqual(v, []ID{0, 2}) {
+		t.Fatalf("NeighborsView(1) = %v", v)
+	}
+	if g.NeighborsView(42) != nil {
+		t.Fatal("NeighborsView of unknown node not nil")
+	}
+	// The view reflects later mutation (callers must not hold it across
+	// mutations; this just pins down that it aliases, not copies).
+	g.MustAddEdge(1, 3)
+	if got := g.NeighborsView(1); !reflect.DeepEqual(got, []ID{0, 2, 3}) {
+		t.Fatalf("view after mutation = %v", got)
+	}
+}
+
+func TestCopyCanonicalFrom(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	src := PermuteIDs(RandomConnected(40, 60, rng), rng)
+	dst := New()
+	dst.CopyCanonicalFrom(src)
+
+	if dst.NumNodes() != src.NumNodes() || dst.NumEdges() != src.NumEdges() {
+		t.Fatalf("size mismatch: %v vs %v", dst, src)
+	}
+	if dst.MaxID() != src.MaxID() {
+		t.Fatalf("MaxID = %d, want %d", dst.MaxID(), src.MaxID())
+	}
+	// Slots are ascending-ID ranks.
+	nodes := src.Nodes()
+	for i, u := range nodes {
+		s, ok := dst.Slot(u)
+		if !ok || s != i {
+			t.Fatalf("Slot(%d) = %d,%v; want %d", u, s, ok, i)
+		}
+		if !reflect.DeepEqual(dst.Neighbors(u), src.Neighbors(u)) {
+			t.Fatalf("neighbors of %d differ", u)
+		}
+	}
+	if !reflect.DeepEqual(dst.AppendNodes(nil), nodes) {
+		t.Fatalf("AppendNodes not ascending: %v", dst.AppendNodes(nil))
+	}
+
+	// Re-copy into the same receiver from a smaller graph: semantics
+	// must be identical to a fresh canonical copy.
+	src2 := Line(5)
+	dst.CopyCanonicalFrom(src2)
+	if !reflect.DeepEqual(dst.Edges(), src2.Edges()) {
+		t.Fatalf("recopy edges = %v", dst.Edges())
+	}
+	if dst.NumNodes() != 5 {
+		t.Fatalf("recopy nodes = %d", dst.NumNodes())
+	}
+	if _, ok := dst.Slot(nodes[len(nodes)-1]); ok && !src2.HasNode(nodes[len(nodes)-1]) {
+		t.Fatal("stale node survived recopy")
+	}
+}

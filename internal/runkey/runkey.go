@@ -1,0 +1,27 @@
+// Package runkey defines the single canonical cache/identity key for
+// a deterministic simulation run. Every layer that names a run — the
+// service's RunSpec, the sweep grid's cells, job IDs — renders its key
+// through this package, so a sweep cell and an individually submitted
+// run with the same parameters hit the same result-cache entry
+// instead of re-simulating.
+package runkey
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Key renders the canonical key of one run: every field that
+// influences the simulation outcome, and nothing else. The format is
+// stable — cached results and job IDs depend on it.
+func Key(algorithm, workload string, n int, seed int64, maxRounds int) string {
+	return fmt.Sprintf("%s|%s|n=%d|seed=%d|maxr=%d", algorithm, workload, n, seed, maxRounds)
+}
+
+// ShortHash is an 8-hex-digit digest of a key, used in human-visible
+// identifiers (job IDs) where the full key is too long.
+func ShortHash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:4])
+}

@@ -1,0 +1,37 @@
+package runkey
+
+import "testing"
+
+func TestKeyCanonicalAndInjectiveOnFields(t *testing.T) {
+	t.Parallel()
+	base := Key("graph-to-star", "line", 64, 7, 0)
+	if base != "graph-to-star|line|n=64|seed=7|maxr=0" {
+		t.Fatalf("key format changed: %q", base)
+	}
+	variants := []string{
+		Key("graph-to-wreath", "line", 64, 7, 0),
+		Key("graph-to-star", "ring", 64, 7, 0),
+		Key("graph-to-star", "line", 65, 7, 0),
+		Key("graph-to-star", "line", 64, 8, 0),
+		Key("graph-to-star", "line", 64, 7, 1),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+}
+
+func TestShortHashStable(t *testing.T) {
+	t.Parallel()
+	h := ShortHash("x")
+	if len(h) != 8 {
+		t.Fatalf("len = %d, want 8", len(h))
+	}
+	if ShortHash("x") != h {
+		t.Fatal("hash not deterministic")
+	}
+	if ShortHash("y") == h {
+		t.Fatal("distinct keys share a short hash (astronomically unlikely)")
+	}
+}

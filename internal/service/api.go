@@ -15,6 +15,7 @@ import (
 //	GET    /v1/runs/{id}        job status + Outcome when finished
 //	GET    /v1/runs/{id}/rounds NDJSON stream of per-round stats (replay + live tail)
 //	DELETE /v1/runs/{id}        cancel a queued or running job
+//	POST   /v1/sweeps           run a SweepSpec grid, NDJSON per-cell stream
 //	GET    /v1/algorithms       runnable algorithm names
 //	GET    /v1/workloads        initial-network family names
 //	GET    /healthz             liveness + pool/cache counters
@@ -100,6 +101,55 @@ func NewHandler(m *Manager) http.Handler {
 				flusher.Flush()
 			}
 		}
+	})
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var spec SweepSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		sweep, err := m.PrepareSweep(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		started := false
+		start := func() {
+			if started {
+				return
+			}
+			started = true
+			w.WriteHeader(http.StatusOK)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		summary, err := sweep.Run(r.Context(), func(cell SweepCell) {
+			start()
+			_ = enc.Encode(cell)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		})
+		if err != nil && !started {
+			// Nothing streamed yet: a proper status line is still possible.
+			switch {
+			case errors.Is(err, ErrSweepBusy):
+				writeError(w, http.StatusServiceUnavailable, err)
+			case r.Context().Err() != nil:
+				// Client is gone; nothing useful to write.
+			default:
+				writeError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		start()
+		_ = enc.Encode(summary)
 	})
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, expt.Algorithms())

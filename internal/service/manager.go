@@ -49,14 +49,25 @@ type Config struct {
 	// MaxN caps RunSpec.N (default DefaultMaxN).
 	MaxN int
 	// RunTimeLimit is the wall-clock budget per run (default 2m);
-	// runs over budget are canceled between rounds and fail. The
-	// centralized-euler baseline runs no round loop, so it streams no
-	// rounds and cannot be interrupted mid-computation.
+	// runs over budget — including individual sweep cells — are
+	// canceled between rounds and fail. The centralized-euler
+	// baseline runs no round loop, so it streams no rounds and cannot
+	// be interrupted mid-computation.
 	RunTimeLimit time.Duration
 	// RetainJobs bounds how many finished jobs stay queryable
 	// (default 1024): the oldest finished jobs are evicted from the
 	// table as new ones finish. Live jobs are never evicted.
 	RetainJobs int
+	// SweepWorkers sizes the engine fleet of one sweep (default:
+	// GOMAXPROCS). Each worker owns a reusable engine, so the fleet —
+	// not per-run parallelism — is a sweep's unit of concurrency.
+	SweepWorkers int
+	// MaxSweepCells caps a single sweep's grid volume (default 1024;
+	// negative disables the cap).
+	MaxSweepCells int
+	// MaxConcurrentSweeps bounds sweeps running at once (default 2);
+	// further POST /v1/sweeps fail fast with ErrSweepBusy.
+	MaxConcurrentSweeps int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +88,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 1024
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSweepCells == 0 {
+		c.MaxSweepCells = 1024
+	}
+	if c.MaxConcurrentSweeps <= 0 {
+		c.MaxConcurrentSweeps = 2
 	}
 	return c
 }
@@ -169,12 +189,13 @@ func (j *Job) State() JobState {
 }
 
 // Manager owns the worker pool, the job table, the in-flight dedup
-// index, and the result cache.
+// index, the result cache, and the sweep gate.
 type Manager struct {
-	cfg   Config
-	cache *resultCache
-	queue chan *Job
-	wg    sync.WaitGroup
+	cfg       Config
+	cache     *resultCache
+	queue     chan *Job
+	wg        sync.WaitGroup
+	sweepGate chan struct{}
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -190,11 +211,12 @@ type Manager struct {
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:    cfg,
-		cache:  newResultCache(cfg.CacheSize),
-		queue:  make(chan *Job, cfg.QueueDepth),
-		jobs:   make(map[string]*Job),
-		inWork: make(map[string]*Job),
+		cfg:       cfg,
+		cache:     newResultCache(cfg.CacheSize),
+		queue:     make(chan *Job, cfg.QueueDepth),
+		jobs:      make(map[string]*Job),
+		inWork:    make(map[string]*Job),
+		sweepGate: make(chan struct{}, cfg.MaxConcurrentSweeps),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -266,6 +288,21 @@ func (m *Manager) Submit(spec RunSpec) (job *Job, cached bool, err error) {
 	m.inWork[key] = j
 	m.mu.Unlock()
 	return j, false, nil
+}
+
+// liveJob returns the queued/running, non-canceled job for a spec
+// key, or nil. Sweeps use it to coalesce cells with in-flight runs.
+func (m *Manager) liveJob(key string) *Job {
+	m.mu.Lock()
+	j, ok := m.inWork[key]
+	m.mu.Unlock()
+	if !ok || wasCanceled(j.cancel) {
+		return nil
+	}
+	if st := j.State(); st != StateQueued && st != StateRunning {
+		return nil
+	}
+	return j
 }
 
 // Get looks a job up by ID.

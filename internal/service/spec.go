@@ -8,11 +8,10 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 
 	"adnet/internal/expt"
+	"adnet/internal/runkey"
 )
 
 // DefaultMaxN caps spec sizes unless the manager configures its own
@@ -58,17 +57,66 @@ func (s RunSpec) Validate(maxN int) error {
 	return nil
 }
 
-// Key is the stable cache key: a canonical rendering of every field
-// that influences the simulation outcome.
+// Key is the stable cache key: the canonical runkey rendering of
+// every field that influences the simulation outcome. Sweep cells
+// produce the same keys (see cellKey), so a sweep and an individual
+// run share cache entries.
 func (s RunSpec) Key() string {
-	return fmt.Sprintf("%s|%s|n=%d|seed=%d|maxr=%d",
-		s.Algorithm, s.Workload, s.N, s.Seed, s.MaxRounds)
+	return runkey.Key(s.Algorithm, s.Workload, s.N, s.Seed, s.MaxRounds)
 }
 
 // keyHash is a short stable digest of the cache key, used in job IDs.
 func (s RunSpec) keyHash() string {
-	sum := sha256.Sum256([]byte(s.Key()))
-	return hex.EncodeToString(sum[:4])
+	return runkey.ShortHash(s.Key())
+}
+
+// cellKey is the canonical key of a sweep grid cell — by construction
+// identical to the RunSpec key for the same parameters.
+func cellKey(c expt.Cell) string {
+	return runkey.Key(c.Algorithm, c.Workload, c.N, c.Seed, c.MaxRounds)
+}
+
+// SweepSpec is the JSON-facing description of a sweep grid: the
+// cartesian product of algorithms × workloads × sizes × seeds, with an
+// optional shared round-limit override.
+type SweepSpec struct {
+	Algorithms []string `json:"algorithms"`
+	Workloads  []string `json:"workloads"`
+	Sizes      []int    `json:"sizes"`
+	Seeds      []int64  `json:"seeds"`
+	MaxRounds  int      `json:"max_rounds,omitempty"`
+}
+
+// Expt converts the spec to the harness-level grid.
+func (s SweepSpec) Expt() expt.SweepSpec {
+	return expt.SweepSpec{
+		Algorithms: s.Algorithms,
+		Workloads:  s.Workloads,
+		Sizes:      s.Sizes,
+		Seeds:      s.Seeds,
+		MaxRounds:  s.MaxRounds,
+	}
+}
+
+// Validate checks names, sizes against maxN (0 means DefaultMaxN) and
+// the grid volume against maxCells.
+func (s SweepSpec) Validate(maxN, maxCells int) error {
+	es := s.Expt()
+	if err := es.Validate(); err != nil {
+		return err
+	}
+	if maxN <= 0 {
+		maxN = DefaultMaxN
+	}
+	for _, n := range s.Sizes {
+		if n > maxN {
+			return fmt.Errorf("n=%d exceeds the service limit %d", n, maxN)
+		}
+	}
+	if cells := es.NumCells(); maxCells > 0 && cells > maxCells {
+		return fmt.Errorf("sweep has %d cells, exceeding the service limit %d", cells, maxCells)
+	}
+	return nil
 }
 
 func contains(xs []string, x string) bool {

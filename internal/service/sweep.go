@@ -1,0 +1,133 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"adnet/internal/expt"
+	"adnet/internal/temporal"
+)
+
+// ErrSweepBusy is returned when the concurrent-sweep limit is reached.
+var ErrSweepBusy = errors.New("service: too many concurrent sweeps")
+
+// SweepCell is the NDJSON-facing result of one grid cell.
+type SweepCell struct {
+	Index     int           `json:"index"`
+	Algorithm string        `json:"algorithm"`
+	Workload  string        `json:"workload"`
+	N         int           `json:"n"`
+	Seed      int64         `json:"seed"`
+	MaxRounds int           `json:"max_rounds,omitempty"`
+	FromCache bool          `json:"from_cache"`
+	Outcome   *expt.Outcome `json:"outcome,omitempty"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// SweepSummary trails the per-cell stream with sweep-level totals.
+type SweepSummary struct {
+	Done      bool `json:"done"`
+	Cells     int  `json:"cells"`
+	CacheHits int  `json:"cache_hits"`
+	Executed  int  `json:"executed"`
+	Errors    int  `json:"errors"`
+}
+
+// Sweep is a validated, ready-to-run grid bound to its Manager.
+type Sweep struct {
+	m    *Manager
+	spec expt.SweepSpec
+}
+
+// PrepareSweep validates spec against the service limits and returns
+// the runnable sweep. Validation happens here — before any bytes are
+// streamed — so the HTTP layer can still answer 400.
+func (m *Manager) PrepareSweep(spec SweepSpec) (*Sweep, error) {
+	if err := spec.Validate(m.cfg.MaxN, m.cfg.MaxSweepCells); err != nil {
+		return nil, err
+	}
+	return &Sweep{m: m, spec: spec.Expt()}, nil
+}
+
+// NumCells returns the grid size.
+func (s *Sweep) NumCells() int { return s.spec.NumCells() }
+
+// Run executes the grid on an engine fleet of cfg.SweepWorkers
+// runners, consulting the manager's result cache per cell (the keys
+// are canonical, so cells repeat runs submitted via POST /v1/runs and
+// vice versa) and storing fresh results — with per-round statistics,
+// so later cache-hit runs can still replay their round streams. emit
+// receives cells in canonical grid order from the calling goroutine,
+// followed by nothing else; the caller renders the summary returned
+// by Run. Cancellation via ctx aborts between rounds/cells.
+//
+// Concurrent sweeps are bounded by cfg.MaxConcurrentSweeps; beyond
+// that Run fails fast with ErrSweepBusy.
+func (s *Sweep) Run(ctx context.Context, emit func(SweepCell)) (SweepSummary, error) {
+	m := s.m
+	select {
+	case m.sweepGate <- struct{}{}:
+		defer func() { <-m.sweepGate }()
+	default:
+		return SweepSummary{}, ErrSweepBusy
+	}
+
+	sum := SweepSummary{Cells: s.spec.NumCells()}
+	_, err := expt.ExecuteSweep(s.spec, expt.SweepOptions{
+		Workers:       m.cfg.SweepWorkers,
+		CollectRounds: true,
+		Cancel:        ctx.Done(),
+		CellTimeLimit: m.cfg.RunTimeLimit,
+		Lookup: func(c expt.Cell) (expt.Outcome, []temporal.RoundStats, bool) {
+			key := cellKey(c)
+			if e, ok := m.cache.Get(key); ok {
+				return e.Outcome, e.Rounds, true
+			}
+			// Coalesce with an identical spec already in flight as a
+			// /v1/runs job (same dedup Submit does via inWork): wait
+			// for it instead of simulating the same deterministic run
+			// twice. Its completion populates the cache.
+			if j := m.liveJob(key); j != nil {
+				j.stream.Wait(ctx, math.MaxInt)
+				if e, ok := m.cache.Get(key); ok {
+					return e.Outcome, e.Rounds, true
+				}
+			}
+			return expt.Outcome{}, nil, false
+		},
+		Store: func(cr expt.CellResult) {
+			m.cache.Add(cellKey(cr.Cell), cacheEntry{Outcome: cr.Outcome, Rounds: cr.Rounds})
+		},
+		Emit: func(cr expt.CellResult) {
+			if cr.Ran {
+				m.runsExecuted.Add(1)
+				sum.Executed++
+			}
+			if cr.FromCache {
+				sum.CacheHits++
+			}
+			cell := SweepCell{
+				Index:     cr.Index,
+				Algorithm: cr.Cell.Algorithm,
+				Workload:  cr.Cell.Workload,
+				N:         cr.Cell.N,
+				Seed:      cr.Cell.Seed,
+				MaxRounds: cr.Cell.MaxRounds,
+				FromCache: cr.FromCache,
+			}
+			if cr.Err != nil {
+				cell.Error = cr.Err.Error()
+				sum.Errors++
+			} else {
+				out := cr.Outcome
+				cell.Outcome = &out
+			}
+			if emit != nil {
+				emit(cell)
+			}
+		},
+	})
+	sum.Done = err == nil
+	return sum, err
+}

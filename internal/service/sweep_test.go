@@ -1,0 +1,297 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postSweep posts a sweep spec and returns the parsed NDJSON stream:
+// per-cell lines plus the trailing summary.
+func postSweep(t *testing.T, srv *httptest.Server, spec SweepSpec) ([]SweepCell, SweepSummary, int) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, SweepSummary{}, resp.StatusCode
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var cells []SweepCell
+	var summary SweepSummary
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if sawSummary {
+			t.Fatalf("line after summary: %q", line)
+		}
+		if strings.Contains(line, `"done"`) {
+			if err := json.Unmarshal([]byte(line), &summary); err != nil {
+				t.Fatalf("bad summary %q: %v", line, err)
+			}
+			sawSummary = true
+			continue
+		}
+		var cell SweepCell
+		if err := json.Unmarshal([]byte(line), &cell); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		cells = append(cells, cell)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSummary {
+		t.Fatal("stream ended without a summary line")
+	}
+	return cells, summary, resp.StatusCode
+}
+
+func sweepSpec() SweepSpec {
+	return SweepSpec{
+		Algorithms: []string{"graph-to-star", "flood"},
+		Workloads:  []string{"line"},
+		Sizes:      []int{16, 24},
+		Seeds:      []int64{1, 2},
+	}
+}
+
+func TestSweepE2EStreamsEveryCellInOrder(t *testing.T) {
+	t.Parallel()
+	srv, m := newTestServer(t, Config{Workers: 1, SweepWorkers: 3})
+
+	spec := sweepSpec()
+	cells, summary, code := postSweep(t, srv, spec)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/sweeps = %d", code)
+	}
+	wantCells := len(spec.Algorithms) * len(spec.Workloads) * len(spec.Sizes) * len(spec.Seeds)
+	if len(cells) != wantCells {
+		t.Fatalf("streamed %d cells, want %d", len(cells), wantCells)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d: stream not in canonical order", i, c.Index)
+		}
+		if c.Error != "" || c.Outcome == nil {
+			t.Fatalf("cell %d: %+v", i, c)
+		}
+		if c.FromCache {
+			t.Fatalf("cell %d from cache on a cold manager", i)
+		}
+		if !c.Outcome.LeaderOK {
+			t.Fatalf("cell %d outcome: %+v", i, c.Outcome)
+		}
+	}
+	// Canonical order: algorithm-major; first half graph-to-star.
+	if cells[0].Algorithm != "graph-to-star" || cells[wantCells-1].Algorithm != "flood" {
+		t.Fatalf("order wrong: first %s, last %s", cells[0].Algorithm, cells[wantCells-1].Algorithm)
+	}
+	if !summary.Done || summary.Cells != wantCells || summary.Executed != wantCells ||
+		summary.CacheHits != 0 || summary.Errors != 0 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	if got := m.RunsExecuted(); got != int64(wantCells) {
+		t.Fatalf("RunsExecuted = %d, want %d", got, wantCells)
+	}
+}
+
+func TestSweepE2EPerCellCacheHits(t *testing.T) {
+	t.Parallel()
+	srv, m := newTestServer(t, Config{Workers: 2, SweepWorkers: 2})
+	spec := sweepSpec()
+
+	// Seed the cache with ONE cell via the individual-run path: the
+	// canonical runkey makes the sweep reuse it.
+	sub, code := postRun(t, srv, RunSpec{Algorithm: "flood", Workload: "line", N: 16, Seed: 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs = %d", code)
+	}
+	awaitDone(t, srv, sub.Job.ID)
+	if m.RunsExecuted() != 1 {
+		t.Fatalf("RunsExecuted = %d after priming run", m.RunsExecuted())
+	}
+
+	cells, summary, _ := postSweep(t, srv, spec)
+	wantCells := 8
+	hits := 0
+	for _, c := range cells {
+		if c.FromCache {
+			hits++
+			if c.Algorithm != "flood" || c.N != 16 || c.Seed != 1 {
+				t.Fatalf("unexpected cache hit: %+v", c)
+			}
+		}
+	}
+	if hits != 1 || summary.CacheHits != 1 {
+		t.Fatalf("cache hits = %d (summary %d), want 1", hits, summary.CacheHits)
+	}
+	if summary.Executed != wantCells-1 {
+		t.Fatalf("executed = %d, want %d", summary.Executed, wantCells-1)
+	}
+	if got := m.RunsExecuted(); got != int64(wantCells) { // 1 priming + 7 fresh
+		t.Fatalf("RunsExecuted = %d, want %d", got, wantCells)
+	}
+
+	// A repeated identical sweep re-simulates nothing.
+	_, summary2, _ := postSweep(t, srv, spec)
+	if summary2.CacheHits != wantCells || summary2.Executed != 0 {
+		t.Fatalf("repeat sweep summary = %+v, want all cache hits", summary2)
+	}
+	if got := m.RunsExecuted(); got != int64(wantCells) {
+		t.Fatalf("RunsExecuted grew to %d on a fully cached sweep", got)
+	}
+
+	// And the reverse direction: a run submitted after the sweep hits
+	// the sweep-populated cache, including round replay.
+	hit, code := postRun(t, srv, RunSpec{Algorithm: "graph-to-star", Workload: "line", N: 24, Seed: 2})
+	if code != http.StatusOK || !hit.Cached {
+		t.Fatalf("post-sweep run not served from cache: code=%d cached=%v", code, hit.Cached)
+	}
+	if rounds := readRounds(t, srv, hit.Job.ID); len(rounds) != hit.Job.Outcome.Rounds {
+		t.Fatalf("sweep-cached run replayed %d rounds, want %d", len(rounds), hit.Job.Outcome.Rounds)
+	}
+}
+
+func TestSweepE2EValidation(t *testing.T) {
+	t.Parallel()
+	srv, _ := newTestServer(t, Config{Workers: 1, MaxSweepCells: 4, MaxN: 64})
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	bad := []string{
+		`{not json`,
+		`{"algorithms":["nope"],"workloads":["line"],"sizes":[8],"seeds":[1]}`,
+		`{"algorithms":["flood"],"workloads":["nope"],"sizes":[8],"seeds":[1]}`,
+		`{"algorithms":["flood"],"workloads":["line"],"sizes":[1],"seeds":[1]}`,
+		`{"algorithms":["flood"],"workloads":["line"],"sizes":[128],"seeds":[1]}`,          // > MaxN
+		`{"algorithms":["flood"],"workloads":["line"],"sizes":[8],"seeds":[]}`,             // empty grid
+		`{"algorithms":["flood"],"workloads":["line"],"sizes":[8,16,24],"seeds":[1,2]}`,    // 6 > MaxSweepCells
+		`{"algorithms":["flood"],"workloads":["line"],"sizes":[8],"seeds":[1],"bogus":1}`,  // unknown field
+		`{"algorithms":["flood"],"workloads":["line"],"sizes":[8],"seeds":[1],"max_rounds":-1}`,
+	}
+	for i, body := range bad {
+		if code := post(body); code != http.StatusBadRequest {
+			t.Errorf("bad spec %d: code = %d, want 400", i, code)
+		}
+	}
+	// The limit is inclusive: exactly MaxSweepCells cells pass.
+	if code := post(`{"algorithms":["flood"],"workloads":["line"],"sizes":[8,16],"seeds":[1,2]}`); code != http.StatusOK {
+		t.Errorf("4-cell sweep rejected with %d", code)
+	}
+}
+
+func TestSweepCoalescesWithInFlightRun(t *testing.T) {
+	t.Parallel()
+	srv, m := newTestServer(t, Config{Workers: 1, SweepWorkers: 1})
+
+	// Start a slow run, then sweep the same cell while it is still in
+	// flight: the sweep must wait for the job instead of re-simulating.
+	spec := slowSpec(61)
+	sub, code := postRun(t, srv, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs = %d", code)
+	}
+	cells, summary, code := postSweep(t, srv, SweepSpec{
+		Algorithms: []string{spec.Algorithm},
+		Workloads:  []string{spec.Workload},
+		Sizes:      []int{spec.N},
+		Seeds:      []int64{spec.Seed},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/sweeps = %d", code)
+	}
+	st := awaitDone(t, srv, sub.Job.ID)
+	if len(cells) != 1 || cells[0].Error != "" || !cells[0].FromCache {
+		t.Fatalf("cells = %+v, want one coalesced cache-served cell", cells)
+	}
+	if *cells[0].Outcome != *st.Outcome {
+		t.Fatalf("coalesced outcome differs: %+v vs %+v", cells[0].Outcome, st.Outcome)
+	}
+	if summary.Executed != 0 || summary.CacheHits != 1 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	if runs := m.RunsExecuted(); runs != 1 {
+		t.Fatalf("RunsExecuted = %d, want 1 — the sweep re-simulated an in-flight spec", runs)
+	}
+}
+
+func TestSweepCellsHonorRunTimeLimit(t *testing.T) {
+	t.Parallel()
+	// A 10ms per-run budget against a run that takes hundreds of
+	// milliseconds (the slowSpec workload): the cell is aborted
+	// between rounds and reported as that cell's error, and the sweep
+	// still completes with a summary — no indefinite engine-fleet
+	// occupancy.
+	srv, _ := newTestServer(t, Config{Workers: 1, RunTimeLimit: 10 * time.Millisecond})
+	spec := SweepSpec{
+		Algorithms: []string{"graph-to-star"},
+		Workloads:  []string{"line"},
+		Sizes:      []int{4096},
+		Seeds:      []int64{1},
+	}
+	cells, summary, code := postSweep(t, srv, spec)
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if len(cells) != 1 || cells[0].Error == "" {
+		t.Fatalf("cells = %+v", cells)
+	}
+	if !strings.Contains(cells[0].Error, "time limit") {
+		t.Fatalf("cell error %q does not mention the time limit", cells[0].Error)
+	}
+	if !summary.Done || summary.Errors != 1 {
+		t.Fatalf("summary = %+v", summary)
+	}
+}
+
+func TestSweepErrorsReportedPerCell(t *testing.T) {
+	t.Parallel()
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	// MaxRounds 1 cannot finish graph-to-star: the cell errs, the
+	// sweep completes.
+	spec := SweepSpec{
+		Algorithms: []string{"graph-to-star", "flood"},
+		Workloads:  []string{"line"},
+		Sizes:      []int{8},
+		Seeds:      []int64{1},
+		MaxRounds:  1,
+	}
+	cells, summary, code := postSweep(t, srv, spec)
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if cells[0].Error == "" || cells[0].Outcome != nil {
+		t.Fatalf("round-limited star cell: %+v", cells[0])
+	}
+	if cells[1].Error != "" { // flood on line(8) finishes within 8 rounds? No: needs 7 rounds with limit 1 — also errs.
+		t.Logf("flood cell err: %s", cells[1].Error)
+	}
+	if !summary.Done || summary.Errors == 0 {
+		t.Fatalf("summary = %+v", summary)
+	}
+}

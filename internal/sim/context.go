@@ -12,18 +12,56 @@ import (
 // beyond the current callback. All query methods read the snapshot
 // E(i) frozen at the start of the round, so they are safe to call from
 // concurrently stepped machines.
+//
+// Contexts are owned and recycled by the Engine: the struct carries
+// the node's dense slot, and outgoing messages record their
+// destination slot at Send time so delivery is pure slice indexing.
 type Context struct {
 	id   graph.ID
+	slot int
 	hist *temporal.History
 	env  Env
 
 	round  int
-	outbox []Message
+	outbox []outMsg
 	acts   []graph.Edge
 	deacts []graph.Edge
 	halted bool
 	status Status
 	err    error
+}
+
+// outMsg is an outbox entry: the message plus its destination slot,
+// resolved once at Send time (-1 when the destination is not a node;
+// delivery reports it as a non-neighbor send).
+type outMsg struct {
+	m    Message
+	slot int32
+}
+
+// reset rebinds the context to a node slot for a new run, recycling
+// its buffers. Stale outbox entries — the full capacity, not just the
+// last round's length — are zeroed so payloads from the previous run
+// cannot leak through reused backing arrays.
+func (c *Context) reset(id graph.ID, slot int, hist *temporal.History, env Env) {
+	c.id, c.slot, c.hist, c.env = id, slot, hist, env
+	c.round = 0
+	c.scrub()
+	c.halted = false
+	c.status = StatusNone
+	c.err = nil
+}
+
+// scrub empties the context's buffers and drops every payload
+// reference they held, keeping the backing arrays for reuse.
+func (c *Context) scrub() {
+	outbox := c.outbox[:cap(c.outbox)]
+	for i := range outbox {
+		outbox[i] = outMsg{}
+	}
+	c.outbox = c.outbox[:0]
+	c.acts = c.acts[:0]
+	c.deacts = c.deacts[:0]
 }
 
 func (c *Context) beginRound(r int) {
@@ -74,23 +112,32 @@ func (c *Context) IsOriginal(v graph.ID) bool { return c.hist.IsOriginal(c.id, v
 
 // OrigNeighbors returns the node's neighbors in the initial graph Gs,
 // ascending. (Static information: a node always knows who its original
-// neighbors are.)
+// neighbors are.) The slice is a shared immutable view of the frozen
+// initial neighborhood — it costs no allocation, and callers must not
+// modify it.
 func (c *Context) OrigNeighbors() []graph.ID {
-	// The initial graph never changes; read through a point query per
-	// current implementation cost is fine for the sizes involved.
-	return c.hist.InitialNeighborsOf(c.id)
+	return c.hist.InitialNeighborsView(c.id)
 }
 
-// Send queues a message to neighbor v for delivery this round.
+// Send queues a message to neighbor v for delivery this round. The
+// destination is resolved to its dense slot here, once, so the
+// engine's delivery loop is pure slice indexing.
 func (c *Context) Send(to graph.ID, payload any) {
-	c.outbox = append(c.outbox, Message{From: c.id, To: to, Payload: payload})
+	slot, ok := c.hist.SlotOf(to)
+	if !ok {
+		slot = -1
+	}
+	c.outbox = append(c.outbox, outMsg{
+		m:    Message{From: c.id, To: to, Payload: payload},
+		slot: int32(slot),
+	})
 }
 
 // Broadcast queues the payload to every current neighbor. It iterates
 // the sorted adjacency directly and does not allocate a neighbor slice.
 func (c *Context) Broadcast(payload any) {
 	c.hist.EachNeighborOf(c.id, func(v graph.ID) bool {
-		c.outbox = append(c.outbox, Message{From: c.id, To: v, Payload: payload})
+		c.Send(v, payload)
 		return true
 	})
 }

@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"adnet/internal/graph"
+	"adnet/internal/temporal"
+)
+
+// Engine is a reusable execution core: one engine runs many
+// simulations back to back, reusing its contexts, inboxes, intent
+// buffers, temporal.History scratch, and worker pool across runs. The
+// lifecycle is
+//
+//	e := NewEngine()
+//	defer e.Close()
+//	for each run {
+//		e.Reset(gs, factory, opts...)   // rebind to a new execution
+//		res, err := e.Run()             // execute it to completion
+//	}
+//
+// Reset may change the graph, the size, the factory and the options
+// freely between runs. Run consumes the Reset: calling Run twice
+// without a Reset in between is an error.
+//
+// Ownership: the *Result returned by Run shares the engine's History;
+// it is valid until the next Reset, so callers that keep results
+// across runs must extract what they need (clones, Metrics, PerRound)
+// before resetting. Engines are not safe for concurrent use; run one
+// engine per goroutine (see expt.ExecuteSweep for the fleet pattern).
+//
+// Internally everything is slot-addressed: node slots are ascending-ID
+// ranks 0..n-1 (the History keeps its snapshots canonical), contexts
+// and machines live in slot-indexed slices, outbox entries resolve
+// their destination to a slot at Send time, and delivery is pure slice
+// indexing — no per-run ID→index map exists. The worker pool is
+// persistent and pinned: each worker owns a fixed slot range
+// [lo, hi) for the whole run and parks on its channel between phases
+// and between runs instead of being respawned.
+type Engine struct {
+	cfg     config
+	workers int
+	pool    *workerPool
+
+	hist      *temporal.History
+	ids       []graph.ID // slot → ID, ascending
+	ctxs      []*Context
+	machines  []Machine
+	inboxes   [][]Message
+	delivered []Message
+	acts      []graph.Edge
+	deacts    []graph.Edge
+
+	n     int
+	ready bool // a successful Reset has not yet been consumed by Run
+}
+
+// NewEngine returns an idle engine. Close it when done to release the
+// worker pool.
+func NewEngine() *Engine { return &Engine{} }
+
+// Close releases the persistent worker pool. The engine may be reused
+// after Close (Reset recreates the pool on demand).
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+	e.ready = false
+}
+
+// Reset rebinds the engine to a fresh execution of the algorithm
+// produced by factory on the initial graph gs. All per-run state from
+// the previous execution is recycled; previously returned Results
+// become invalid. Machines are rebuilt (they carry algorithm state),
+// everything else is reused.
+func (e *Engine) Reset(gs *graph.Graph, factory Factory, opts ...Option) error {
+	e.ready = false
+	n := gs.NumNodes()
+	if n == 0 {
+		return errors.New("sim: empty initial graph")
+	}
+	if !gs.IsConnected() {
+		return errors.New("sim: initial graph must be connected")
+	}
+	cfg := config{maxRounds: 64*n + 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e.cfg = cfg
+	e.n = n
+	workers := cfg.parallelism
+	if workers <= 0 {
+		if n >= 512 {
+			workers = runtime.GOMAXPROCS(0)
+		} else {
+			workers = 1
+		}
+	}
+	e.workers = workers
+
+	if e.hist == nil {
+		e.hist = temporal.NewHistory(gs)
+	} else {
+		e.hist.Reset(gs)
+	}
+	if cfg.trace {
+		e.hist.EnableTrace()
+	}
+	e.ids = e.hist.AppendNodeIDs(e.ids)
+
+	// Contexts and machines, slot-indexed. Context structs are reused;
+	// machines are algorithm state and must be rebuilt per run.
+	e.ctxs = growPtrs(e.ctxs, n)
+	e.machines = grow(e.machines, n)
+	env := Env{N: n}
+	for i := 0; i < n; i++ {
+		e.ctxs[i].reset(e.ids[i], i, e.hist, env)
+		m := factory(e.ids[i], env)
+		if m == nil {
+			return fmt.Errorf("sim: factory returned nil machine for node %d", e.ids[i])
+		}
+		e.machines[i] = m
+	}
+	// When the run shrank, scrub the tails beyond n too: slots past
+	// the new size would otherwise pin the previous run's machines
+	// and payloads through the slices' backing arrays.
+	for _, c := range e.ctxs[n:cap(e.ctxs)] {
+		if c != nil {
+			c.scrub()
+		}
+	}
+	machineTail := e.machines[n:cap(e.machines)]
+	for i := range machineTail {
+		machineTail[i] = nil
+	}
+
+	// Inboxes keep their backing arrays; stale Messages are cleared so
+	// payloads from earlier runs do not stay reachable.
+	e.inboxes = grow(e.inboxes, n)
+	inboxAll := e.inboxes[:cap(e.inboxes)]
+	for i := range inboxAll {
+		clearMessages(inboxAll[i][:cap(inboxAll[i])])
+		inboxAll[i] = inboxAll[i][:0]
+	}
+	clearMessages(e.delivered[:cap(e.delivered)])
+	e.delivered = e.delivered[:0]
+	e.acts, e.deacts = e.acts[:0], e.deacts[:0]
+
+	if workers > 1 {
+		if e.pool == nil || e.pool.size != workers {
+			if e.pool != nil {
+				e.pool.close()
+			}
+			e.pool = newWorkerPool(workers)
+		}
+		e.pool.setRanges(n)
+	}
+	e.ready = true
+	return nil
+}
+
+// Run executes the round loop prepared by the last Reset until every
+// node halts, the round limit is hit, or an error aborts the
+// execution. On a runtime failure (model violation, round limit,
+// connectivity check, cancellation) Run returns the partial Result
+// alongside the error.
+func (e *Engine) Run() (*Result, error) {
+	if !e.ready {
+		return nil, errors.New("sim: Engine.Run requires a successful Reset first")
+	}
+	e.ready = false
+	cfg := &e.cfg
+	n := e.n
+	hist := e.hist
+	ctxs := e.ctxs[:n]
+	machines := e.machines[:n]
+	inboxes := e.inboxes[:n]
+
+	// Init phase.
+	for i := range machines {
+		ctxs[i].round = 0
+		machines[i].Init(ctxs[i])
+	}
+
+	checkCtxErrs := func() error {
+		for i := range ctxs {
+			if ctxs[i].err != nil {
+				return ctxs[i].err
+			}
+		}
+		return nil
+	}
+
+	totalMsgs, maxMsgs := 0, 0
+	for round := 1; round <= cfg.maxRounds; round++ {
+		if cfg.done != nil {
+			select {
+			case <-cfg.done:
+				return e.finish(round-1, totalMsgs, maxMsgs),
+					fmt.Errorf("%w after round %d", ErrCanceled, round-1)
+			default:
+			}
+		}
+		// --- Send ---
+		e.step(func(i int) {
+			ctx := ctxs[i]
+			ctx.beginRound(round)
+			if ctx.halted {
+				return
+			}
+			machines[i].Send(ctx)
+		})
+		if err := checkCtxErrs(); err != nil {
+			return e.finish(round, totalMsgs, maxMsgs), err
+		}
+		// --- Deliver: pure slot indexing; destination slots were
+		// resolved at Send time. ---
+		for i := range inboxes {
+			inboxes[i] = inboxes[i][:0]
+		}
+		roundMsgs := 0
+		for i := range ctxs {
+			for _, om := range ctxs[i].outbox {
+				if om.slot < 0 || !hist.ActiveSlots(i, int(om.slot)) {
+					return e.finish(round, totalMsgs, maxMsgs),
+						fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", round, om.m.From, om.m.To)
+				}
+				inboxes[om.slot] = append(inboxes[om.slot], om.m)
+				roundMsgs++
+			}
+		}
+		totalMsgs += roundMsgs
+		if roundMsgs > maxMsgs {
+			maxMsgs = roundMsgs
+		}
+		// Inboxes are already sender-sorted: senders are processed in
+		// ascending slot (= ascending ID) order and each sender's
+		// messages keep their queueing order.
+		if len(cfg.hooks) > 0 {
+			e.delivered = e.delivered[:0]
+			for i := range inboxes {
+				e.delivered = append(e.delivered, inboxes[i]...)
+			}
+		}
+
+		// --- Receive + intents ---
+		e.step(func(i int) {
+			ctx := ctxs[i]
+			if ctx.halted {
+				return
+			}
+			machines[i].Receive(ctx, inboxes[i])
+		})
+		if err := checkCtxErrs(); err != nil {
+			return e.finish(round, totalMsgs, maxMsgs), err
+		}
+
+		// --- Activate / Deactivate ---
+		e.acts, e.deacts = e.acts[:0], e.deacts[:0]
+		for i := range ctxs {
+			e.acts = append(e.acts, ctxs[i].acts...)
+			e.deacts = append(e.deacts, ctxs[i].deacts...)
+		}
+		stats, err := hist.Apply(e.acts, e.deacts)
+		if err != nil {
+			return e.finish(round, totalMsgs, maxMsgs), err
+		}
+		if cfg.checkConnect && !hist.CurrentClone().IsConnected() {
+			return e.finish(round, totalMsgs, maxMsgs),
+				fmt.Errorf("%w after round %d", ErrDisconnected, round)
+		}
+		for _, hook := range cfg.hooks {
+			hook(RoundEvent{Round: round, Messages: e.delivered, Stats: stats})
+		}
+
+		allHalted := true
+		for i := range ctxs {
+			if !ctxs[i].halted {
+				allHalted = false
+				break
+			}
+		}
+		if allHalted {
+			return e.finish(round, totalMsgs, maxMsgs), nil
+		}
+	}
+	return e.finish(cfg.maxRounds, totalMsgs, maxMsgs),
+		fmt.Errorf("%w (limit %d)", ErrRoundLimit, cfg.maxRounds)
+}
+
+// step runs fn for every slot, sequentially or on the pinned pool.
+func (e *Engine) step(fn func(i int)) {
+	if e.workers <= 1 || e.n < 2*e.workers {
+		for i := 0; i < e.n; i++ {
+			fn(i)
+		}
+		return
+	}
+	e.pool.run(fn)
+}
+
+func (e *Engine) finish(rounds, totalMsgs, maxMsgs int) *Result {
+	res := &Result{
+		History:             e.hist,
+		Metrics:             e.hist.Metrics(),
+		Rounds:              rounds,
+		Statuses:            make(map[graph.ID]Status, e.n),
+		Machines:            make(map[graph.ID]Machine, e.n),
+		TotalMessages:       totalMsgs,
+		MaxMessagesPerRound: maxMsgs,
+	}
+	for i := 0; i < e.n; i++ {
+		res.Statuses[e.ids[i]] = e.ctxs[i].status
+		res.Machines[e.ids[i]] = e.machines[i]
+	}
+	return res
+}
+
+// workerPool is a persistent, pinned pool: size goroutines, each
+// owning the fixed slot range [lo[w], hi[w]). Workers park on their
+// start channel between phases and between runs; a phase is one
+// channel send per worker, one completion receive per worker. Ranges
+// are rewritten only between runs (Engine.Reset), which
+// happens-before the next start send.
+type workerPool struct {
+	size   int
+	lo, hi []int
+	start  []chan func(i int)
+	done   chan struct{}
+}
+
+func newWorkerPool(size int) *workerPool {
+	p := &workerPool{
+		size:  size,
+		lo:    make([]int, size),
+		hi:    make([]int, size),
+		start: make([]chan func(i int), size),
+		done:  make(chan struct{}, size),
+	}
+	for w := 0; w < size; w++ {
+		p.start[w] = make(chan func(i int))
+		go func(w int) {
+			for fn := range p.start[w] {
+				for i := p.lo[w]; i < p.hi[w]; i++ {
+					fn(i)
+				}
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+	return p
+}
+
+// setRanges pins contiguous, near-equal slot ranges for n slots.
+func (p *workerPool) setRanges(n int) {
+	chunk := (n + p.size - 1) / p.size
+	for w := 0; w < p.size; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		p.lo[w], p.hi[w] = lo, hi
+	}
+}
+
+// run executes one phase: every worker steps its own range, and all
+// workers are awaited before returning. Errors are recorded
+// per-Context by fn and surfaced by the caller, keeping execution
+// deterministic regardless of scheduling.
+func (p *workerPool) run(fn func(i int)) {
+	for w := 0; w < p.size; w++ {
+		p.start[w] <- fn
+	}
+	for w := 0; w < p.size; w++ {
+		<-p.done
+	}
+}
+
+func (p *workerPool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+// grow resizes s to length n, reusing capacity (and, for slice
+// elements, their backing arrays) when available.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]T, n)
+	copy(out, s[:cap(s)])
+	return out
+}
+
+// growPtrs is grow for the context slice, allocating structs for new
+// slots.
+func growPtrs(s []*Context, n int) []*Context {
+	s = grow(s, n)
+	for i := range s {
+		if s[i] == nil {
+			s[i] = &Context{}
+		}
+	}
+	return s
+}
+
+// clearMessages zeroes a message slice so payload references from a
+// finished run cannot leak into the next one via reused capacity.
+func clearMessages(ms []Message) {
+	for i := range ms {
+		ms[i] = Message{}
+	}
+}

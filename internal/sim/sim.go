@@ -6,15 +6,15 @@
 // temporal.History (which enforces the distance-2 rule and tracks the
 // edge-complexity measures), and detects termination.
 //
-// Node steps may run on a bounded goroutine pool, but all intents are
-// merged in ascending node order, so executions are deterministic.
+// Node steps may run on a persistent pinned worker pool (each worker
+// owns a fixed slot range), but all intents are merged in ascending
+// node order, so executions are deterministic regardless of
+// parallelism. The reusable execution core lives in Engine
+// (engine.go); Run is its single-use wrapper.
 package sim
 
 import (
 	"errors"
-	"fmt"
-	"runtime"
-	"sync"
 
 	"adnet/internal/graph"
 	"adnet/internal/temporal"
@@ -174,212 +174,18 @@ func (r *Result) Leader() (graph.ID, bool) {
 
 // Run executes the distributed algorithm produced by factory on the
 // initial graph gs until every node halts or the round limit is hit.
+// It is a thin wrapper over a single-use Engine; callers executing
+// many runs should hold an Engine and Reset it between runs to reuse
+// its buffers and worker pool.
 //
 // On a runtime failure (model violation, round limit, connectivity
 // check) Run returns the partial Result alongside the error so callers
 // can post-mortem the history; on setup errors the Result is nil.
 func Run(gs *graph.Graph, factory Factory, opts ...Option) (*Result, error) {
-	n := gs.NumNodes()
-	if n == 0 {
-		return nil, errors.New("sim: empty initial graph")
+	e := NewEngine()
+	defer e.Close()
+	if err := e.Reset(gs, factory, opts...); err != nil {
+		return nil, err
 	}
-	if !gs.IsConnected() {
-		return nil, errors.New("sim: initial graph must be connected")
-	}
-	cfg := config{maxRounds: 64*n + 64}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	workers := cfg.parallelism
-	if workers <= 0 {
-		if n >= 512 {
-			workers = runtime.GOMAXPROCS(0)
-		} else {
-			workers = 1
-		}
-	}
-
-	hist := temporal.NewHistory(gs)
-	if cfg.trace {
-		hist.EnableTrace()
-	}
-	ids := gs.Nodes()
-	index := make(map[graph.ID]int, n)
-	for i, id := range ids {
-		index[id] = i
-	}
-	env := Env{N: n}
-	ctxs := make([]*Context, n)
-	machines := make([]Machine, n)
-	for i, id := range ids {
-		ctxs[i] = &Context{id: id, hist: hist, env: env}
-		machines[i] = factory(id, env)
-		if machines[i] == nil {
-			return nil, fmt.Errorf("sim: factory returned nil machine for node %d", id)
-		}
-	}
-
-	// Init phase.
-	for i := range machines {
-		ctxs[i].round = 0
-		machines[i].Init(ctxs[i])
-	}
-
-	checkCtxErrs := func() error {
-		for i := range ctxs {
-			if ctxs[i].err != nil {
-				return ctxs[i].err
-			}
-		}
-		return nil
-	}
-
-	// Per-round buffers, allocated once and reused: the steady-state
-	// round loop performs no allocation of its own (see bench_test.go's
-	// BenchmarkRoundLoop).
-	inboxes := make([][]Message, n)
-	var delivered []Message
-	var acts, deacts []graph.Edge
-	totalMsgs, maxMsgs := 0, 0
-	for round := 1; round <= cfg.maxRounds; round++ {
-		if cfg.done != nil {
-			select {
-			case <-cfg.done:
-				return finish(hist, ids, ctxs, machines, round-1, totalMsgs, maxMsgs),
-					fmt.Errorf("%w after round %d", ErrCanceled, round-1)
-			default:
-			}
-		}
-		// --- Send ---
-		runPhase(workers, n, func(i int) {
-			ctx := ctxs[i]
-			ctx.beginRound(round)
-			if ctx.halted {
-				return
-			}
-			machines[i].Send(ctx)
-		})
-		if err := checkCtxErrs(); err != nil {
-			return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs), err
-		}
-		for i := range inboxes {
-			inboxes[i] = inboxes[i][:0]
-		}
-		roundMsgs := 0
-		for i := range ctxs {
-			for _, m := range ctxs[i].outbox {
-				if !hist.Active(m.From, m.To) {
-					return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs),
-						fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", round, m.From, m.To)
-				}
-				inboxes[index[m.To]] = append(inboxes[index[m.To]], m)
-				roundMsgs++
-			}
-		}
-		totalMsgs += roundMsgs
-		if roundMsgs > maxMsgs {
-			maxMsgs = roundMsgs
-		}
-		// Inboxes are already sender-sorted: senders are processed in
-		// ascending node order and each sender's messages keep their
-		// queueing order.
-		if len(cfg.hooks) > 0 {
-			delivered = delivered[:0]
-			for i := range inboxes {
-				delivered = append(delivered, inboxes[i]...)
-			}
-		}
-
-		// --- Receive + intents ---
-		runPhase(workers, n, func(i int) {
-			ctx := ctxs[i]
-			if ctx.halted {
-				return
-			}
-			machines[i].Receive(ctx, inboxes[i])
-		})
-		if err := checkCtxErrs(); err != nil {
-			return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs), err
-		}
-
-		// --- Activate / Deactivate ---
-		acts, deacts = acts[:0], deacts[:0]
-		for i := range ctxs {
-			acts = append(acts, ctxs[i].acts...)
-			deacts = append(deacts, ctxs[i].deacts...)
-		}
-		stats, err := hist.Apply(acts, deacts)
-		if err != nil {
-			return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs), err
-		}
-		if cfg.checkConnect && !hist.CurrentClone().IsConnected() {
-			return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs),
-				fmt.Errorf("%w after round %d", ErrDisconnected, round)
-		}
-		for _, hook := range cfg.hooks {
-			hook(RoundEvent{Round: round, Messages: delivered, Stats: stats})
-		}
-
-		allHalted := true
-		for i := range ctxs {
-			if !ctxs[i].halted {
-				allHalted = false
-				break
-			}
-		}
-		if allHalted {
-			return finish(hist, ids, ctxs, machines, round, totalMsgs, maxMsgs), nil
-		}
-	}
-	return finish(hist, ids, ctxs, machines, cfg.maxRounds, totalMsgs, maxMsgs),
-		fmt.Errorf("%w (limit %d)", ErrRoundLimit, cfg.maxRounds)
-}
-
-func finish(hist *temporal.History, ids []graph.ID, ctxs []*Context, machines []Machine, rounds, totalMsgs, maxMsgs int) *Result {
-	res := &Result{
-		History:             hist,
-		Metrics:             hist.Metrics(),
-		Rounds:              rounds,
-		Statuses:            make(map[graph.ID]Status, len(ids)),
-		Machines:            make(map[graph.ID]Machine, len(ids)),
-		TotalMessages:       totalMsgs,
-		MaxMessagesPerRound: maxMsgs,
-	}
-	for i, id := range ids {
-		res.Statuses[id] = ctxs[i].status
-		res.Machines[id] = machines[i]
-	}
-	return res
-}
-
-// runPhase steps all n node slots through fn, sequentially or on a
-// bounded worker pool; all workers are awaited before returning.
-// Errors are recorded per-Context and surfaced by the caller, which
-// keeps execution deterministic regardless of scheduling.
-func runPhase(workers, n int, fn func(i int)) {
-	if workers <= 1 || n < 2*workers {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	return e.Run()
 }

@@ -58,6 +58,12 @@ type Metrics struct {
 
 // History is the evolving temporal graph of one execution.
 // The zero value is not usable; call NewHistory.
+//
+// The internal graph snapshots are kept canonical (slots in ascending
+// ID order, see graph.CopyCanonicalFrom), so the slot-addressed
+// queries (SlotOf, ActiveSlots) expose ascending-ID ranks. A History
+// can be reused across executions via Reset, which reuses every
+// internal buffer.
 type History struct {
 	initial *graph.Graph
 	current *graph.Graph
@@ -66,7 +72,7 @@ type History struct {
 	totalActivations   int
 	totalDeactivations int
 	activatedAlive     map[graph.Edge]struct{} // E(i) \ E(1)
-	activatedDeg       map[graph.ID]int        // degree in D(i) \ D(1)
+	activatedDeg       []int                   // slot-indexed degree in D(i) \ D(1)
 	maxActivatedEdges  int
 	maxActivatedDeg    int
 	maxActiveEdges     int
@@ -89,17 +95,48 @@ type History struct {
 }
 
 // NewHistory starts an execution from the initial graph Gs = D(1).
-// The graph is cloned; the caller keeps ownership of gs.
+// The graph is copied; the caller keeps ownership of gs.
 func NewHistory(gs *graph.Graph) *History {
-	h := &History{
-		initial:        gs.Clone(),
-		current:        gs.Clone(),
-		round:          1,
-		activatedAlive: make(map[graph.Edge]struct{}),
-		activatedDeg:   make(map[graph.ID]int),
-		maxActiveEdges: gs.NumEdges(),
-	}
+	h := &History{}
+	h.Reset(gs)
 	return h
+}
+
+// Reset rewinds the History to round 1 of a fresh execution starting
+// from gs, reusing every internal buffer (graph snapshots, scratch
+// slices, the per-round log) so that engine reuse across runs performs
+// no steady-state allocation. Tracing is switched off; callers that
+// want it re-enable it after Reset.
+func (h *History) Reset(gs *graph.Graph) {
+	if h.initial == nil {
+		h.initial = graph.New()
+		h.current = graph.New()
+	}
+	h.initial.CopyCanonicalFrom(gs)
+	h.current.CopyCanonicalFrom(gs)
+	h.round = 1
+	h.totalActivations = 0
+	h.totalDeactivations = 0
+	if h.activatedAlive == nil {
+		h.activatedAlive = make(map[graph.Edge]struct{})
+	} else {
+		clear(h.activatedAlive)
+	}
+	n := gs.NumNodes()
+	if cap(h.activatedDeg) < n {
+		h.activatedDeg = make([]int, n)
+	} else {
+		h.activatedDeg = h.activatedDeg[:n]
+		clear(h.activatedDeg)
+	}
+	h.maxActivatedEdges = 0
+	h.maxActivatedDeg = 0
+	h.maxActiveEdges = gs.NumEdges()
+	h.perRound = h.perRound[:0]
+	h.lastActivity = 0
+	h.trace = false
+	h.traceAct = h.traceAct[:0]
+	h.traceDeact = h.traceDeact[:0]
 }
 
 // EnableTrace records the full per-round activation/deactivation edge
@@ -120,11 +157,38 @@ func (h *History) Active(u, v graph.ID) bool { return h.current.HasEdge(u, v) }
 // IsOriginal reports whether {u,v} ∈ E(1).
 func (h *History) IsOriginal(u, v graph.ID) bool { return h.initial.HasEdge(u, v) }
 
+// SlotOf returns u's dense slot (its ascending-ID rank: the History's
+// snapshots are canonical) and whether u is a node. The node set is
+// static for a whole execution, so slots returned here stay valid
+// until the next Reset.
+func (h *History) SlotOf(u graph.ID) (int, bool) { return h.current.Slot(u) }
+
+// IDAtSlot returns the node ID occupying the given slot.
+func (h *History) IDAtSlot(slot int) graph.ID { return h.current.IDAt(slot) }
+
+// ActiveSlots reports whether the edge between the nodes at slots su
+// and sv is active — the map-free counterpart of Active for
+// slot-addressed callers (the engine's delivery loop).
+func (h *History) ActiveSlots(su, sv int) bool { return h.current.HasEdgeSlots(su, sv) }
+
+// AppendNodeIDs appends every node ID in ascending order to dst[:0]
+// and returns it, reusing dst's backing array when possible. Index i
+// of the result is the node at slot i.
+func (h *History) AppendNodeIDs(dst []graph.ID) []graph.ID { return h.current.AppendNodes(dst) }
+
 // NeighborsOf returns the active neighbors N1(u) in ascending order.
 func (h *History) NeighborsOf(u graph.ID) []graph.ID { return h.current.Neighbors(u) }
 
 // InitialNeighborsOf returns u's neighbors in Gs = D(1), ascending.
 func (h *History) InitialNeighborsOf(u graph.ID) []graph.ID { return h.initial.Neighbors(u) }
+
+// InitialNeighborsView returns u's neighbors in Gs = D(1), ascending,
+// as a zero-copy view of the History's internal storage. The initial
+// graph never changes during an execution, so the view is stable until
+// the next Reset; callers must treat it as read-only.
+func (h *History) InitialNeighborsView(u graph.ID) []graph.ID {
+	return h.initial.NeighborsView(u)
+}
 
 // DegreeOf returns |N1(u)|.
 func (h *History) DegreeOf(u graph.ID) int { return h.current.Degree(u) }
@@ -321,13 +385,13 @@ func (h *History) Apply(activate, deactivate []graph.Edge) (RoundStats, error) {
 	return stats, nil
 }
 
+// bumpActivatedDeg adjusts u's degree in D(i) \ D(1). u is always an
+// endpoint of a validated edge, hence a node of the static set: the
+// slot lookup cannot miss.
 func (h *History) bumpActivatedDeg(u graph.ID, delta int) {
-	d := h.activatedDeg[u] + delta
-	if d == 0 {
-		delete(h.activatedDeg, u)
-	} else {
-		h.activatedDeg[u] = d
-	}
+	s, _ := h.current.Slot(u)
+	d := h.activatedDeg[s] + delta
+	h.activatedDeg[s] = d
 	if d > h.maxActivatedDeg {
 		h.maxActivatedDeg = d
 	}
