@@ -23,8 +23,17 @@
 // allocs/round (deterministic) or, if enabled, ns/round regress
 // beyond the thresholds. This is the CI perf gate:
 //
-//	adnet-bench -compare BENCH_PR2.json -alloc-threshold 0.25
-//	adnet-bench -compare BENCH_PR2.json -sizes 256 -workloads line
+//	adnet-bench -compare BENCH_LATEST.json -alloc-threshold 0.25
+//	adnet-bench -compare BENCH_LATEST.json -sizes 256 -workloads line
+//
+// With -aggregate the command runs the -algos × -workloads × -sizes ×
+// -seeds grid through the sweep fleet and prints the per-(algorithm,
+// workload, n) statistics over seeds — the same table shape the
+// server's /v1/sweeps/{id}/aggregate endpoint serves:
+//
+//	adnet-bench -aggregate -algos graph-to-star,flood \
+//	            -workloads line,ring -sizes 256,1024 -seeds 1,2,3,4,5
+//	adnet-bench -aggregate -json ...   # groups as a JSON array
 //
 // Each record reports the workload, rounds executed, wall-clock
 // ns/round and heap allocations (count and bytes) per round.
@@ -51,6 +60,8 @@ func main() {
 	algosFlag := flag.String("algos", "graph-to-star", "perf mode: comma-separated algorithms")
 	workloadsFlag := flag.String("workloads", "line,ring", "perf mode: comma-separated workloads")
 	seed := flag.Int64("seed", 1, "perf mode: workload seed")
+	aggregate := flag.Bool("aggregate", false, "run the grid through the sweep path and print per-(algorithm, workload, n) aggregates over -seeds")
+	seedsFlag := flag.String("seeds", "1,2,3,4,5", "aggregate mode: comma-separated workload seeds")
 	compare := flag.String("compare", "", "re-measure the grid of this BENCH_*.json and diff (CI perf gate)")
 	allocTh := flag.Float64("alloc-threshold", 0.25, "compare: max tolerated allocs/round regression (fraction)")
 	nsTh := flag.Float64("ns-threshold", 0, "compare: max tolerated ns/round regression (fraction; 0 = report only)")
@@ -78,6 +89,16 @@ func main() {
 			nsTh:      *nsTh,
 		})
 		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *aggregate {
+		seeds, err := expt.ParseSeeds(*seedsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runAggregate(splitList(*algosFlag), splitList(*workloadsFlag), sizes, seeds, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -197,6 +218,33 @@ func measure(r *expt.Runner, cell expt.Cell) (perfRecord, error) {
 		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(rounds),
 		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
 	}, nil
+}
+
+// runAggregate executes the grid on the sweep fleet and prints the
+// per-(algorithm, workload, n) statistics over seeds — the paper's
+// table shape, computed exactly like the server's aggregate endpoint.
+// With -json the groups are emitted as the same JSON array the
+// /v1/sweeps/{id}/aggregate endpoint nests under "groups".
+func runAggregate(algos, workloads []string, sizes []int, seeds []int64, asJSON bool) error {
+	if len(sizes) == 0 {
+		sizes = []int{256, 1024}
+	}
+	groups, err := expt.AggregateSweep(expt.SweepSpec{
+		Algorithms: algos,
+		Workloads:  workloads,
+		Sizes:      sizes,
+		Seeds:      seeds,
+	})
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(groups)
+	}
+	fmt.Println(expt.AggregateTable(groups).String())
+	return nil
 }
 
 // compareFilter scopes a -compare pass: nil/empty filters keep every

@@ -14,9 +14,12 @@
 //	    -d '{"algorithm":"graph-to-star","workload":"line","n":1024,"seed":7}'
 //	curl -s localhost:8080/v1/runs/<id>
 //	curl -sN localhost:8080/v1/runs/<id>/rounds
-//	curl -sN -X POST localhost:8080/v1/sweeps \
+//	curl -s -X POST localhost:8080/v1/sweeps \
 //	    -d '{"algorithms":["graph-to-star"],"workloads":["line","ring"],
 //	         "sizes":[256,1024],"seeds":[1,2,3]}'
+//	curl -s localhost:8080/v1/sweeps/<id>
+//	curl -sN localhost:8080/v1/sweeps/<id>/cells
+//	curl -s localhost:8080/v1/sweeps/<id>/aggregate
 package main
 
 import (
@@ -45,6 +48,8 @@ func main() {
 	sweepWorkers := flag.Int("sweep-workers", 0, "engine fleet size per sweep (0 = GOMAXPROCS)")
 	sweepCells := flag.Int("sweep-cells", 1024, "largest accepted sweep grid (cells)")
 	sweeps := flag.Int("sweeps", 2, "concurrent sweeps before 503")
+	sweepTimeLimit := flag.Duration("sweep-time-limit", 10*time.Minute, "wall-clock budget per sweep job")
+	retainSweeps := flag.Int("retain-sweeps", 64, "finished sweep jobs kept queryable")
 	flag.Parse()
 
 	mgr := service.NewManager(service.Config{
@@ -57,6 +62,8 @@ func main() {
 		SweepWorkers:        *sweepWorkers,
 		MaxSweepCells:       *sweepCells,
 		MaxConcurrentSweeps: *sweeps,
+		SweepTimeLimit:      *sweepTimeLimit,
+		RetainSweeps:        *retainSweeps,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

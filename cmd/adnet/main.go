@@ -6,6 +6,12 @@
 //	adnet -algo graph-to-star -graph line -n 1024
 //	adnet -algo graph-to-wreath -graph bounded-degree -n 256 -seed 7 -verify
 //	adnet -algo centralized-euler -graph random -n 4096
+//
+// With -aggregate the run repeats across -seeds and prints the
+// per-(algorithm, workload, n) statistics over those seeds — one row
+// of the same table the server's aggregate endpoint serves:
+//
+//	adnet -algo graph-to-star -graph random -n 512 -aggregate -seeds 1,2,3,4,5
 package main
 
 import (
@@ -25,7 +31,16 @@ func main() {
 	n := flag.Int("n", 256, "number of nodes")
 	seed := flag.Int64("seed", 1, "workload seed")
 	verify := flag.Bool("verify", false, "fail unless a unique correct leader was elected")
+	aggregate := flag.Bool("aggregate", false, "repeat across -seeds and print mean/min/max/stddev statistics")
+	seedsFlag := flag.String("seeds", "1,2,3,4,5", "aggregate mode: comma-separated workload seeds")
 	flag.Parse()
+
+	if *aggregate {
+		if err := runAggregate(*algo, *workload, *n, *seedsFlag, *verify); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	out, err := expt.Execute(expt.Request{
 		Algorithm: *algo,
@@ -43,12 +58,40 @@ func main() {
 	fmt.Printf("total activations   %d\n", out.TotalActivations)
 	fmt.Printf("max activated edges %d\n", out.MaxActivatedEdges)
 	fmt.Printf("max activated deg   %d\n", out.MaxActivatedDegree)
+	fmt.Printf("total messages      %d\n", out.TotalMessages)
 	fmt.Printf("final diameter      %d\n", out.FinalDiameter)
 	fmt.Printf("final leader depth  %d\n", out.FinalDepth)
 	fmt.Printf("leader elected      %v\n", out.LeaderOK)
 	if *verify && !out.LeaderOK {
 		fatal(fmt.Errorf("verification failed: no unique correct leader"))
 	}
+}
+
+// runAggregate executes the single-(algorithm, workload, n) grid over
+// every seed through the sweep fleet and prints the aggregate row.
+func runAggregate(algo, workload string, n int, seedList string, verify bool) error {
+	seeds, err := expt.ParseSeeds(seedList)
+	if err != nil {
+		return err
+	}
+	groups, err := expt.AggregateSweep(expt.SweepSpec{
+		Algorithms: []string{algo},
+		Workloads:  []string{workload},
+		Sizes:      []int{n},
+		Seeds:      seeds,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(expt.AggregateTable(groups).String())
+	if verify {
+		for _, g := range groups {
+			if g.Errors > 0 || g.LeadersOK != g.Seeds {
+				return fmt.Errorf("verification failed: %d/%d leaders, %d errors", g.LeadersOK, g.Seeds, g.Errors)
+			}
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,11 @@
+// Package e2e holds the end-to-end service test: it builds the real
+// adnet-server binary, starts it as a child process, and drives the
+// sweep-job lifecycle (submit, poll, stream cells, aggregate, cancel)
+// over real HTTP, asserting the wire-level JSON/NDJSON shapes rather
+// than reusing the service package's Go types.
+//
+// The test is build-tagged so the ordinary `go test ./...` run stays
+// hermetic and fast; CI runs it as its own job:
+//
+//	go test -tags e2e -v -timeout 10m ./e2e
+package e2e

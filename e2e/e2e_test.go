@@ -1,0 +1,403 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer builds the real adnet-server binary and runs it on a
+// free localhost port, returning the base URL. The process is torn
+// down with the test.
+func startServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "adnet-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/adnet-server")
+	build.Dir = ".."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/adnet-server: %v\n%s", err, out)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var logs bytes.Buffer
+	srv := exec.Command(bin, "-addr", addr, "-workers", "2", "-sweep-workers", "2")
+	srv.Stdout = &logs
+	srv.Stderr = &logs
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { srv.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			srv.Process.Kill()
+			<-done
+		}
+		if t.Failed() {
+			t.Logf("server logs:\n%s", logs.String())
+		}
+	})
+
+	base := "http://" + addr
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return base
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy: %v\n%s", err, logs.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// requireKeys fails unless the JSON object has every named key —
+// the wire-shape assertion clients depend on.
+func requireKeys(t *testing.T, obj map[string]json.RawMessage, context string, keys ...string) {
+	t.Helper()
+	for _, k := range keys {
+		if _, ok := obj[k]; !ok {
+			t.Fatalf("%s: missing key %q in %v", context, k, keysOf(obj))
+		}
+	}
+}
+
+func keysOf(obj map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(obj))
+	for k := range obj {
+		out = append(out, k)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postSweep(t *testing.T, base, body string) (id string, code int) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", resp.StatusCode
+	}
+	var sub struct {
+		Sweep map[string]json.RawMessage `json:"sweep"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	requireKeys(t, sub.Sweep, "submit response", "id", "state", "cells", "cells_done", "enqueued_at")
+	json.Unmarshal(sub.Sweep["id"], &id)
+	return id, resp.StatusCode
+}
+
+func sweepState(t *testing.T, base, id string) (state string, status map[string]json.RawMessage) {
+	t.Helper()
+	if code := getJSON(t, base+"/v1/sweeps/"+id, &status); code != http.StatusOK {
+		t.Fatalf("GET /v1/sweeps/%s = %d", id, code)
+	}
+	json.Unmarshal(status["state"], &state)
+	return state, status
+}
+
+func awaitSweep(t *testing.T, base, id, want string) map[string]json.RawMessage {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		state, status := sweepState(t, base, id)
+		if state == want {
+			return status
+		}
+		switch state {
+		case "done", "failed", "canceled":
+			t.Fatalf("sweep %s ended %s, want %s: %s", id, state, want, status["error"])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s never reached %s", id, want)
+	return nil
+}
+
+// TestSweepJobEndToEnd drives the full sweep-job lifecycle against
+// the real server binary over HTTP: submit returns a job ID
+// immediately, the job completes in the background, cells stream as
+// NDJSON in canonical order, and the aggregate endpoint serves
+// per-(algorithm, workload, n) statistics over seeds.
+func TestSweepJobEndToEnd(t *testing.T) {
+	base := startServer(t)
+
+	const (
+		algos = 2
+		sizes = 2
+		seeds = 3
+		cells = algos * sizes * seeds
+	)
+	id, code := postSweep(t, base,
+		`{"algorithms":["graph-to-star","flood"],"workloads":["line"],"sizes":[16,24],"seeds":[1,2,3]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d, want 202", code)
+	}
+	if !strings.HasPrefix(id, "sweep-") {
+		t.Fatalf("sweep job ID = %q", id)
+	}
+
+	status := awaitSweep(t, base, id, "done")
+	requireKeys(t, status, "sweep status", "summary", "started_at", "finished_at")
+	var summary map[string]json.RawMessage
+	json.Unmarshal(status["summary"], &summary)
+	requireKeys(t, summary, "summary", "done", "cells", "cache_hits", "executed", "errors")
+	var executed int
+	json.Unmarshal(summary["executed"], &executed)
+	if executed != cells {
+		t.Fatalf("summary.executed = %d, want %d", executed, cells)
+	}
+
+	// The NDJSON cell stream replays every cell in canonical order and
+	// trails with the summary line.
+	resp, err := http.Get(base + "/v1/sweeps/" + id + "/cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("cells Content-Type = %q", ct)
+	}
+	type cellRounds struct {
+		algo string
+		n    int
+		r    float64
+	}
+	var streamed []cellRounds
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(line, &obj); err != nil {
+			t.Fatalf("bad NDJSON line %s: %v", line, err)
+		}
+		if _, isSummary := obj["done"]; isSummary {
+			requireKeys(t, obj, "stream summary", "cells", "executed", "errors")
+			sawSummary = true
+			continue
+		}
+		if sawSummary {
+			t.Fatalf("cell line after summary: %s", line)
+		}
+		requireKeys(t, obj, "cell", "index", "algorithm", "workload", "n", "seed", "from_cache", "outcome")
+		var idx, n int
+		var algo string
+		json.Unmarshal(obj["index"], &idx)
+		json.Unmarshal(obj["n"], &n)
+		json.Unmarshal(obj["algorithm"], &algo)
+		if idx != len(streamed) {
+			t.Fatalf("cell index %d at position %d: not canonical order", idx, len(streamed))
+		}
+		var outcome map[string]json.RawMessage
+		json.Unmarshal(obj["outcome"], &outcome)
+		requireKeys(t, outcome, "outcome",
+			"N", "Rounds", "TotalActivations", "MaxActivatedEdges", "TotalMessages", "LeaderOK")
+		var rounds float64
+		json.Unmarshal(outcome["Rounds"], &rounds)
+		streamed = append(streamed, cellRounds{algo: algo, n: n, r: rounds})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != cells || !sawSummary {
+		t.Fatalf("streamed %d cells (summary=%v), want %d cells + summary", len(streamed), sawSummary, cells)
+	}
+
+	// The aggregate endpoint serves the paper-table shape: one group
+	// per (algorithm, workload, n) with statistics over seeds.
+	var agg struct {
+		ID     string                       `json:"id"`
+		State  string                       `json:"state"`
+		Groups []map[string]json.RawMessage `json:"groups"`
+	}
+	if code := getJSON(t, base+"/v1/sweeps/"+id+"/aggregate", &agg); code != http.StatusOK {
+		t.Fatalf("GET aggregate = %d, want 200", code)
+	}
+	if agg.ID != id || agg.State != "done" {
+		t.Fatalf("aggregate header = %+v", agg)
+	}
+	if len(agg.Groups) != algos*sizes {
+		t.Fatalf("groups = %d, want %d", len(agg.Groups), algos*sizes)
+	}
+	for _, g := range agg.Groups {
+		requireKeys(t, g, "group", "algorithm", "workload", "n", "seeds", "errors", "leaders_ok",
+			"rounds", "total_activations", "max_activated_edges", "max_activated_degree", "total_messages")
+		var seedCount, errCount int
+		json.Unmarshal(g["seeds"], &seedCount)
+		json.Unmarshal(g["errors"], &errCount)
+		if seedCount != seeds || errCount != 0 {
+			t.Fatalf("group seeds/errors = %d/%d, want %d/0", seedCount, errCount, seeds)
+		}
+		var rounds struct {
+			Mean, Min, Max float64
+		}
+		var stat map[string]json.RawMessage
+		json.Unmarshal(g["rounds"], &stat)
+		requireKeys(t, stat, "rounds stat", "mean", "min", "max", "stddev")
+		json.Unmarshal(stat["mean"], &rounds.Mean)
+		json.Unmarshal(stat["min"], &rounds.Min)
+		json.Unmarshal(stat["max"], &rounds.Max)
+		if rounds.Min > rounds.Mean || rounds.Mean > rounds.Max {
+			t.Fatalf("rounds stat not ordered: %+v", rounds)
+		}
+		// Cross-check the group mean against the raw cells.
+		var algo string
+		var n int
+		json.Unmarshal(g["algorithm"], &algo)
+		json.Unmarshal(g["n"], &n)
+		var sum float64
+		count := 0
+		for _, c := range streamed {
+			if c.algo == algo && c.n == n {
+				sum += c.r
+				count++
+			}
+		}
+		if count != seeds || sum/float64(count) != rounds.Mean {
+			t.Fatalf("group %s/n=%d mean %v does not match cells (%v over %d)",
+				algo, n, rounds.Mean, sum/float64(count), count)
+		}
+	}
+
+	// The sweep list and healthz know the job.
+	var list []map[string]json.RawMessage
+	if code := getJSON(t, base+"/v1/sweeps", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("GET /v1/sweeps = %d with %d entries", code, len(list))
+	}
+	var health struct {
+		Status string `json:"status"`
+		Stats  struct {
+			Sweeps       int   `json:"sweeps"`
+			RunsExecuted int64 `json:"runs_executed"`
+		} `json:"stats"`
+	}
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if health.Status != "ok" || health.Stats.Sweeps != 1 || health.Stats.RunsExecuted != cells {
+		t.Fatalf("healthz = %+v", health)
+	}
+}
+
+// TestSweepJobCancelEndToEnd covers DELETE /v1/sweeps/{id} against
+// the real binary: a long sweep is canceled mid-grid and reaches the
+// canceled state promptly, with the aggregate still serving the cells
+// that finished.
+func TestSweepJobCancelEndToEnd(t *testing.T) {
+	base := startServer(t)
+
+	id, code := postSweep(t, base,
+		`{"algorithms":["graph-to-star"],"workloads":["line"],"sizes":[4096],"seeds":[1,2,3,4,5,6,7,8]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sweeps/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE = %d, want 204", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		state, _ := sweepState(t, base, id)
+		if state == "canceled" {
+			break
+		}
+		if state == "done" || state == "failed" {
+			t.Fatalf("canceled sweep ended %s", state)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck in %s after cancel", state)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	var agg struct {
+		State  string            `json:"state"`
+		Groups []json.RawMessage `json:"groups"`
+	}
+	if code := getJSON(t, base+"/v1/sweeps/"+id+"/aggregate", &agg); code != http.StatusOK {
+		t.Fatalf("aggregate after cancel = %d", code)
+	}
+	if agg.State != "canceled" {
+		t.Fatalf("aggregate state = %q", agg.State)
+	}
+
+	// Unknown sweep IDs 404 on every verb.
+	if code := getJSON(t, base+"/v1/sweeps/sweep-999999-ffffffff", nil); code != http.StatusNotFound {
+		t.Fatalf("GET unknown sweep = %d", code)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, base+"/v1/sweeps/sweep-999999-ffffffff", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown sweep = %d", resp.StatusCode)
+	}
+}
+
+// TestHealthzShape pins the healthz wire shape a monitoring client
+// scrapes.
+func TestHealthzShape(t *testing.T) {
+	base := startServer(t)
+	var health map[string]json.RawMessage
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	requireKeys(t, health, "healthz", "status", "stats")
+	var stats map[string]json.RawMessage
+	json.Unmarshal(health["stats"], &stats)
+	requireKeys(t, stats, "healthz stats",
+		"workers", "queue_depth", "queued", "jobs", "sweeps", "runs_executed",
+		"cache_size", "cache_hits", "cache_misses")
+}

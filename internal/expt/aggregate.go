@@ -1,0 +1,207 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Stat summarizes one cost measure over the seeds of an aggregation
+// group. StdDev is the population standard deviation (÷k, not ÷(k−1)):
+// the seeds of a sweep are the whole population being reported, not a
+// sample from a larger one.
+type Stat struct {
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	StdDev float64 `json:"stddev"`
+}
+
+// statOf computes a Stat over xs in slice order. The two-pass formula
+// (mean first, then squared deviations) accumulates in a fixed order,
+// so the same inputs always produce bit-identical floats regardless of
+// how many workers executed the sweep.
+func statOf(xs []float64) Stat {
+	if len(xs) == 0 {
+		return Stat{}
+	}
+	s := Stat{Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.StdDev = math.Sqrt(sq / float64(len(xs)))
+	return s
+}
+
+// AggregateGroup is the per-(algorithm, workload, n) summary over the
+// seeds of a sweep — one row of the paper's tables: time (rounds),
+// edge activations, and message volume per scheme and size.
+type AggregateGroup struct {
+	Algorithm string `json:"algorithm"`
+	Workload  string `json:"workload"`
+	N         int    `json:"n"`
+	// Seeds counts the successful cells aggregated; Errors counts the
+	// cells of this group excluded because their run failed (or was
+	// canceled). Stats are over the successful cells only.
+	Seeds  int `json:"seeds"`
+	Errors int `json:"errors"`
+	// LeadersOK counts successful cells that elected a unique correct
+	// leader; equal to Seeds on a healthy sweep.
+	LeadersOK int `json:"leaders_ok"`
+
+	Rounds             Stat `json:"rounds"`
+	TotalActivations   Stat `json:"total_activations"`
+	MaxActivatedEdges  Stat `json:"max_activated_edges"`
+	MaxActivatedDegree Stat `json:"max_activated_degree"`
+	TotalMessages      Stat `json:"total_messages"`
+}
+
+// Aggregate folds sweep results into per-(algorithm, workload, n)
+// groups, each summarizing its cost measures over the group's seeds.
+// Results must be in canonical cell order (ExecuteSweep's output and
+// Emit order) — seeds vary fastest there, so each group is one
+// contiguous run and the output preserves grid order. Aggregation is
+// pure slice arithmetic in that fixed order: its output — including
+// the float statistics — is byte-for-byte deterministic for a given
+// grid, regardless of sweep worker count.
+func Aggregate(results []CellResult) []AggregateGroup {
+	var groups []AggregateGroup
+	for start := 0; start < len(results); {
+		c := results[start].Cell
+		end := start
+		for end < len(results) {
+			n := results[end].Cell
+			if n.Algorithm != c.Algorithm || n.Workload != c.Workload || n.N != c.N {
+				break
+			}
+			end++
+		}
+		groups = append(groups, aggregateGroup(results[start:end]))
+		start = end
+	}
+	return groups
+}
+
+// aggregateGroup summarizes one contiguous (algorithm, workload, n)
+// run of cells.
+func aggregateGroup(cells []CellResult) AggregateGroup {
+	g := AggregateGroup{
+		Algorithm: cells[0].Cell.Algorithm,
+		Workload:  cells[0].Cell.Workload,
+		N:         cells[0].Cell.N,
+	}
+	var rounds, acts, maxEdges, maxDeg, msgs []float64
+	for _, cr := range cells {
+		if cr.Err != nil {
+			g.Errors++
+			continue
+		}
+		g.Seeds++
+		if cr.Outcome.LeaderOK {
+			g.LeadersOK++
+		}
+		rounds = append(rounds, float64(cr.Outcome.Rounds))
+		acts = append(acts, float64(cr.Outcome.TotalActivations))
+		maxEdges = append(maxEdges, float64(cr.Outcome.MaxActivatedEdges))
+		maxDeg = append(maxDeg, float64(cr.Outcome.MaxActivatedDegree))
+		msgs = append(msgs, float64(cr.Outcome.TotalMessages))
+	}
+	g.Rounds = statOf(rounds)
+	g.TotalActivations = statOf(acts)
+	g.MaxActivatedEdges = statOf(maxEdges)
+	g.MaxActivatedDegree = statOf(maxDeg)
+	g.TotalMessages = statOf(msgs)
+	return g
+}
+
+// AggregateSweep executes the grid on a default engine fleet and
+// folds the results — the one-call form behind the CLIs' -aggregate
+// modes, computing exactly what the service's aggregate endpoint
+// serves for the same grid.
+func AggregateSweep(spec SweepSpec) ([]AggregateGroup, error) {
+	results, err := ExecuteSweep(spec, SweepOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return Aggregate(results), nil
+}
+
+// ParseSeeds parses a comma-separated seed list ("1,2,3"), shared by
+// the CLI -seeds flags.
+func ParseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, v := range strings.Split(s, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expt: bad seed %q", v)
+		}
+		out = append(out, seed)
+	}
+	return out, nil
+}
+
+// AggregateTable renders groups as an aligned text table, one row per
+// (algorithm, workload, n) — the figure-ready shape of the paper's
+// comparison tables (mean ± stddev [min–max] over seeds).
+func AggregateTable(groups []AggregateGroup) *Table {
+	t := &Table{
+		ID:    "AGG",
+		Title: "per-(algorithm, workload, n) aggregates over seeds",
+		Claim: "time, edge-activation and message costs per scheme (§2.2 measures)",
+		Columns: []string{
+			"algorithm", "workload", "n", "seeds", "err", "leader",
+			"rounds", "activations", "max act edges", "max act deg", "messages",
+		},
+	}
+	for _, g := range groups {
+		t.Rows = append(t.Rows, []string{
+			g.Algorithm,
+			g.Workload,
+			strconv.Itoa(g.N),
+			strconv.Itoa(g.Seeds),
+			strconv.Itoa(g.Errors),
+			fmt.Sprintf("%d/%d", g.LeadersOK, g.Seeds),
+			fmtStat(g.Rounds),
+			fmtStat(g.TotalActivations),
+			fmtStat(g.MaxActivatedEdges),
+			fmtStat(g.MaxActivatedDegree),
+			fmtStat(g.TotalMessages),
+		})
+	}
+	return t
+}
+
+// fmtStat renders mean±stddev with the spread when it is non-trivial.
+func fmtStat(s Stat) string {
+	if s.Min == s.Max {
+		return trimFloat(s.Mean)
+	}
+	return fmt.Sprintf("%s±%s [%s–%s]",
+		trimFloat(s.Mean), f2(s.StdDev), trimFloat(s.Min), trimFloat(s.Max))
+}
+
+// trimFloat renders integral values without a fraction.
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return strconv.FormatFloat(x, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(x, 'f', 2, 64)
+}

@@ -27,6 +27,7 @@ type Outcome struct {
 	TotalActivations   int
 	MaxActivatedEdges  int // max_i |E(i) \ E(1)|
 	MaxActivatedDegree int
+	TotalMessages      int // delivered point-to-point messages (0 for the centralized baseline)
 	FinalDiameter      int // diameter of the final active graph
 	FinalDepth         int // eccentricity of the elected leader
 	LeaderOK           bool
@@ -156,6 +157,7 @@ func runAlgorithm(eng *sim.Engine, name string, gs *graph.Graph, extra ...sim.Op
 		TotalActivations:   res.Metrics.TotalActivations,
 		MaxActivatedEdges:  res.Metrics.MaxActivatedEdges,
 		MaxActivatedDegree: res.Metrics.MaxActivatedDegree,
+		TotalMessages:      res.TotalMessages,
 		FinalDiameter:      final.ApproxDiameter(),
 		LeaderOK:           tasks.VerifyLeaderElection(res, umax) == nil,
 	}

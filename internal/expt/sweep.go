@@ -158,8 +158,8 @@ func (s SweepSpec) Validate() error {
 
 // CellResult is the measured product of one grid cell.
 type CellResult struct {
-	Index     int    // position in SweepSpec.Cells order
-	Cell      Cell   //
+	Index     int  // position in SweepSpec.Cells order
+	Cell      Cell //
 	Outcome   Outcome
 	Rounds    []temporal.RoundStats // per-round stats when CollectRounds (or served by Lookup)
 	FromCache bool                  // answered by Lookup without running

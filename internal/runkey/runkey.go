@@ -10,6 +10,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 )
 
 // Key renders the canonical key of one run: every field that
@@ -24,4 +25,32 @@ func Key(algorithm, workload string, n int, seed int64, maxRounds int) string {
 func ShortHash(key string) string {
 	sum := sha256.Sum256([]byte(key))
 	return hex.EncodeToString(sum[:4])
+}
+
+// SweepKey renders the canonical key of a sweep grid: the dimension
+// lists in submission order plus the shared round-limit override. Two
+// sweeps with equal keys enumerate identical cells, cell for cell.
+// Like Key, the format is stable — sweep job IDs hash it.
+func SweepKey(algorithms, workloads []string, sizes []int, seeds []int64, maxRounds int) string {
+	var b strings.Builder
+	b.WriteString("sweep|a=")
+	b.WriteString(strings.Join(algorithms, ","))
+	b.WriteString("|w=")
+	b.WriteString(strings.Join(workloads, ","))
+	b.WriteString("|n=")
+	for i, n := range sizes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	b.WriteString("|seed=")
+	for i, s := range seeds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	fmt.Fprintf(&b, "|maxr=%d", maxRounds)
+	return b.String()
 }

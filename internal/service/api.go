@@ -10,15 +10,20 @@ import (
 
 // NewHandler builds the HTTP surface over a Manager:
 //
-//	POST   /v1/runs             enqueue a RunSpec (JSON body) or hit the cache
-//	GET    /v1/runs             list all known jobs
-//	GET    /v1/runs/{id}        job status + Outcome when finished
-//	GET    /v1/runs/{id}/rounds NDJSON stream of per-round stats (replay + live tail)
-//	DELETE /v1/runs/{id}        cancel a queued or running job
-//	POST   /v1/sweeps           run a SweepSpec grid, NDJSON per-cell stream
-//	GET    /v1/algorithms       runnable algorithm names
-//	GET    /v1/workloads        initial-network family names
-//	GET    /healthz             liveness + pool/cache counters
+//	POST   /v1/runs                  enqueue a RunSpec (JSON body) or hit the cache
+//	GET    /v1/runs                  list all known jobs
+//	GET    /v1/runs/{id}             job status + Outcome when finished
+//	GET    /v1/runs/{id}/rounds      NDJSON stream of per-round stats (replay + live tail)
+//	DELETE /v1/runs/{id}             cancel a queued or running job
+//	POST   /v1/sweeps                submit a SweepSpec grid as a fire-and-forget job
+//	GET    /v1/sweeps                list all known sweep jobs
+//	GET    /v1/sweeps/{id}           sweep status + summary when finished
+//	GET    /v1/sweeps/{id}/cells     NDJSON stream of per-cell results (replay + live tail)
+//	GET    /v1/sweeps/{id}/aggregate per-(algorithm, workload, n) stats over seeds
+//	DELETE /v1/sweeps/{id}           cancel a queued or running sweep
+//	GET    /v1/algorithms            runnable algorithm names
+//	GET    /v1/workloads             initial-network family names
+//	GET    /healthz                  liveness + pool/cache counters
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -76,31 +81,7 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusNotFound, ErrNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-		flusher, _ := w.(http.Flusher)
-		if flusher != nil {
-			// Push the status line now: the first batch may be a
-			// long Wait away and clients time out on a silent start.
-			flusher.Flush()
-		}
-		enc := json.NewEncoder(w)
-		cursor := 0
-		for {
-			batch, ok := job.Stream().Wait(r.Context(), cursor)
-			if !ok {
-				return
-			}
-			for _, rs := range batch {
-				if err := enc.Encode(rs); err != nil {
-					return
-				}
-			}
-			cursor += len(batch)
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
+		streamNDJSON(w, r, &job.Stream().stream)
 	})
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
 		var spec SweepSpec
@@ -110,46 +91,73 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		sweep, err := m.PrepareSweep(spec)
-		if err != nil {
+		job, err := m.SubmitSweep(spec)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrSweepBusy), errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		default:
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		flusher, _ := w.(http.Flusher)
-		enc := json.NewEncoder(w)
-		started := false
-		start := func() {
-			if started {
-				return
-			}
-			started = true
-			w.WriteHeader(http.StatusOK)
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
-		summary, err := sweep.Run(r.Context(), func(cell SweepCell) {
-			start()
-			_ = enc.Encode(cell)
-			if flusher != nil {
-				flusher.Flush()
-			}
-		})
-		if err != nil && !started {
-			// Nothing streamed yet: a proper status line is still possible.
-			switch {
-			case errors.Is(err, ErrSweepBusy):
-				writeError(w, http.StatusServiceUnavailable, err)
-			case r.Context().Err() != nil:
-				// Client is gone; nothing useful to write.
-			default:
-				writeError(w, http.StatusBadRequest, err)
-			}
+		writeJSON(w, http.StatusAccepted, sweepSubmitResponse{Sweep: job.Status()})
+	})
+	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Sweeps())
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.GetSweep(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound)
 			return
 		}
-		start()
-		_ = enc.Encode(summary)
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		err := m.CancelSweep(r.PathValue("id"))
+		switch {
+		case err == nil:
+			w.WriteHeader(http.StatusNoContent)
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusConflict, err)
+		}
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}/cells", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.GetSweep(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		// A subscriber disconnect ends only this stream — the sweep
+		// keeps running for other subscribers. The summary line trails
+		// the cells once the sweep is terminal.
+		enc, done := streamNDJSON(w, r, &job.Stream().stream)
+		if !done {
+			return
+		}
+		if st := job.Status(); st.Summary != nil {
+			_ = enc.Encode(st.Summary)
+		}
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}/aggregate", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.GetSweep(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		groups, err := job.Aggregate()
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sweepAggregateResponse{
+			ID:     job.ID,
+			State:  job.State(),
+			Groups: groups,
+		})
 	})
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, expt.Algorithms())
@@ -163,9 +171,52 @@ func NewHandler(m *Manager) http.Handler {
 	return mux
 }
 
+// streamNDJSON replays s to the client as NDJSON — full history from
+// cursor 0, then a live tail until the stream closes. It returns the
+// encoder and done=true when the stream was fully drained, done=false
+// when the client disconnected mid-stream; callers append trailing
+// lines (e.g. a sweep summary) only when done.
+func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, s *stream[T]) (enc *json.Encoder, done bool) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the status line now: the first batch may be a long
+		// Wait away and clients time out on a silent start.
+		flusher.Flush()
+	}
+	enc = json.NewEncoder(w)
+	cursor := 0
+	for {
+		batch, more := s.Wait(r.Context(), cursor)
+		if !more {
+			return enc, r.Context().Err() == nil
+		}
+		for _, item := range batch {
+			if err := enc.Encode(item); err != nil {
+				return enc, false
+			}
+		}
+		cursor += len(batch)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
 type submitResponse struct {
 	Job    JobStatus `json:"job"`
 	Cached bool      `json:"cached"`
+}
+
+type sweepSubmitResponse struct {
+	Sweep SweepStatus `json:"sweep"`
+}
+
+type sweepAggregateResponse struct {
+	ID     string                `json:"id"`
+	State  JobState              `json:"state"`
+	Groups []expt.AggregateGroup `json:"groups"`
 }
 
 type healthResponse struct {

@@ -68,6 +68,14 @@ type Config struct {
 	// MaxConcurrentSweeps bounds sweeps running at once (default 2);
 	// further POST /v1/sweeps fail fast with ErrSweepBusy.
 	MaxConcurrentSweeps int
+	// SweepTimeLimit is the wall-clock budget for a whole sweep job
+	// (default 10m); sweeps over budget are aborted between cells and
+	// fail, with the cells finished so far retained.
+	SweepTimeLimit time.Duration
+	// RetainSweeps bounds how many finished sweep jobs stay queryable
+	// (default 64). A retained sweep keeps its full cell stream in
+	// memory, so the bound is deliberately tighter than RetainJobs.
+	RetainSweeps int
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +105,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrentSweeps <= 0 {
 		c.MaxConcurrentSweeps = 2
+	}
+	if c.SweepTimeLimit <= 0 {
+		c.SweepTimeLimit = 10 * time.Minute
+	}
+	if c.RetainSweeps <= 0 {
+		c.RetainSweeps = 64
 	}
 	return c
 }
@@ -188,20 +202,23 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
-// Manager owns the worker pool, the job table, the in-flight dedup
-// index, the result cache, and the sweep gate.
+// Manager owns the worker pool, the job table, the sweep-job table,
+// the in-flight dedup index, the result cache, and the sweep gate.
 type Manager struct {
 	cfg       Config
 	cache     *resultCache
 	queue     chan *Job
 	wg        sync.WaitGroup
+	sweepWG   sync.WaitGroup
 	sweepGate chan struct{}
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	inWork  map[string]*Job // spec key → live (queued/running) job
-	retired []string        // finished job IDs, oldest first
-	closed  bool
+	mu            sync.Mutex
+	jobs          map[string]*Job
+	inWork        map[string]*Job // spec key → live (queued/running) job
+	retired       []string        // finished job IDs, oldest first
+	sweeps        map[string]*SweepJob
+	retiredSweeps []string // finished sweep IDs, oldest first
+	closed        bool
 
 	seq          atomic.Int64
 	runsExecuted atomic.Int64
@@ -216,6 +233,7 @@ func NewManager(cfg Config) *Manager {
 		queue:     make(chan *Job, cfg.QueueDepth),
 		jobs:      make(map[string]*Job),
 		inWork:    make(map[string]*Job),
+		sweeps:    make(map[string]*SweepJob),
 		sweepGate: make(chan struct{}, cfg.MaxConcurrentSweeps),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -225,8 +243,12 @@ func NewManager(cfg Config) *Manager {
 	return m
 }
 
-// Close stops accepting submissions and waits for in-flight jobs.
-// Queued jobs still run; to drop them, Cancel first.
+// Close stops accepting submissions, cancels live sweep jobs, and
+// waits for in-flight work. Queued run jobs still run (to drop them,
+// Cancel first); sweeps are canceled rather than drained because a
+// grid can legally run for SweepTimeLimit — graceful shutdown must
+// not stall behind it, and a sweep's in-memory cells die with the
+// process anyway.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -234,9 +256,17 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	sweeps := make([]*SweepJob, 0, len(m.sweeps))
+	for _, j := range m.sweeps {
+		sweeps = append(sweeps, j)
+	}
 	m.mu.Unlock()
+	for _, j := range sweeps {
+		j.cancelOnce.Do(func() { close(j.cancel) })
+	}
 	close(m.queue)
 	m.wg.Wait()
+	m.sweepWG.Wait()
 }
 
 // Submit validates spec and returns a job for it: a pre-completed one
@@ -353,6 +383,7 @@ type Stats struct {
 	QueueDepth   int   `json:"queue_depth"`
 	Queued       int   `json:"queued"`
 	Jobs         int   `json:"jobs"`
+	Sweeps       int   `json:"sweeps"`
 	RunsExecuted int64 `json:"runs_executed"`
 	CacheSize    int   `json:"cache_size"`
 	CacheHits    int64 `json:"cache_hits"`
@@ -364,12 +395,14 @@ func (m *Manager) Stats() Stats {
 	size, hits, misses := m.cache.Stats()
 	m.mu.Lock()
 	jobs := len(m.jobs)
+	sweeps := len(m.sweeps)
 	m.mu.Unlock()
 	return Stats{
 		Workers:      m.cfg.Workers,
 		QueueDepth:   m.cfg.QueueDepth,
 		Queued:       len(m.queue),
 		Jobs:         jobs,
+		Sweeps:       sweeps,
 		RunsExecuted: m.runsExecuted.Load(),
 		CacheSize:    size,
 		CacheHits:    hits,

@@ -98,6 +98,12 @@ func (s SweepSpec) Expt() expt.SweepSpec {
 	}
 }
 
+// Key is the canonical runkey rendering of the grid, hashed into
+// sweep job IDs.
+func (s SweepSpec) Key() string {
+	return runkey.SweepKey(s.Algorithms, s.Workloads, s.Sizes, s.Seeds, s.MaxRounds)
+}
+
 // Validate checks names, sizes against maxN (0 means DefaultMaxN) and
 // the grid volume against maxCells.
 func (s SweepSpec) Validate(maxN, maxCells int) error {

@@ -7,69 +7,55 @@ import (
 	"adnet/internal/temporal"
 )
 
-// RoundStream is the per-job publication channel for round statistics.
-// The worker publishes one temporal.RoundStats per completed round;
-// any number of subscribers read with a cursor, so late subscribers
-// (including cache hits, whose streams are pre-filled) replay the
-// full history before tailing live rounds. Memory is bounded by the
-// job's round limit — RoundStats is five ints.
-type RoundStream struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	rounds []temporal.RoundStats
-	done   bool
+// stream is the shared publish/replay channel behind RoundStream and
+// CellStream: a producer publishes items in order, any number of
+// subscribers read with a cursor, so late subscribers replay the full
+// history before tailing live items. close marks the end of the
+// stream; replay of a closed stream still works.
+type stream[T any] struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []T
+	done  bool
 }
 
-func newRoundStream() *RoundStream {
-	s := &RoundStream{}
-	s.cond = sync.NewCond(&s.mu)
-	return s
-}
+func (s *stream[T]) init() { s.cond = sync.NewCond(&s.mu) }
 
-// newClosedStream builds an already-finished stream holding rounds —
-// the replay source for cache-hit jobs.
-func newClosedStream(rounds []temporal.RoundStats) *RoundStream {
-	s := newRoundStream()
-	s.rounds = rounds
-	s.done = true
-	return s
-}
-
-func (s *RoundStream) publish(rs temporal.RoundStats) {
+func (s *stream[T]) publish(item T) {
 	s.mu.Lock()
-	s.rounds = append(s.rounds, rs)
+	s.items = append(s.items, item)
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
 
-func (s *RoundStream) close() {
+func (s *stream[T]) close() {
 	s.mu.Lock()
 	s.done = true
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
 
-// Len returns the number of rounds published so far.
-func (s *RoundStream) Len() int {
+// Len returns the number of items published so far.
+func (s *stream[T]) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.rounds)
+	return len(s.items)
 }
 
-// snapshot returns the rounds published so far.
-func (s *RoundStream) snapshot() []temporal.RoundStats {
+// snapshot returns the items published so far.
+func (s *stream[T]) snapshot() []T {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]temporal.RoundStats, len(s.rounds))
-	copy(out, s.rounds)
+	out := make([]T, len(s.items))
+	copy(out, s.items)
 	return out
 }
 
-// Wait blocks until rounds beyond cursor are available and returns
+// Wait blocks until items beyond cursor are available and returns
 // them (as a capped slice the caller may range over but not append
 // to). It returns ok=false when the stream is finished and fully
 // consumed, or when ctx is canceled.
-func (s *RoundStream) Wait(ctx context.Context, cursor int) ([]temporal.RoundStats, bool) {
+func (s *stream[T]) Wait(ctx context.Context, cursor int) ([]T, bool) {
 	stop := context.AfterFunc(ctx, func() {
 		// Broadcast under the lock: otherwise the wakeup could slip
 		// between a waiter's ctx check and its cond.Wait and be lost.
@@ -81,13 +67,49 @@ func (s *RoundStream) Wait(ctx context.Context, cursor int) ([]temporal.RoundSta
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if cursor < len(s.rounds) {
-			n := len(s.rounds)
-			return s.rounds[cursor:n:n], true
+		if cursor < len(s.items) {
+			n := len(s.items)
+			return s.items[cursor:n:n], true
 		}
 		if s.done || ctx.Err() != nil {
 			return nil, false
 		}
 		s.cond.Wait()
 	}
+}
+
+// RoundStream is the per-job publication channel for round statistics.
+// The worker publishes one temporal.RoundStats per completed round.
+// Memory is bounded by the job's round limit — RoundStats is five ints.
+type RoundStream struct {
+	stream[temporal.RoundStats]
+}
+
+func newRoundStream() *RoundStream {
+	s := &RoundStream{}
+	s.init()
+	return s
+}
+
+// newClosedStream builds an already-finished stream holding rounds —
+// the replay source for cache-hit jobs.
+func newClosedStream(rounds []temporal.RoundStats) *RoundStream {
+	s := newRoundStream()
+	s.items = rounds
+	s.done = true
+	return s
+}
+
+// CellStream is the per-sweep-job publication channel for finished
+// grid cells, in canonical cell order. Subscribers replay completed
+// cells and tail live ones exactly like RoundStream subscribers;
+// memory is bounded by the sweep-cell limit.
+type CellStream struct {
+	stream[SweepCell]
+}
+
+func newCellStream() *CellStream {
+	s := &CellStream{}
+	s.init()
+	return s
 }

@@ -3,14 +3,25 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"adnet/internal/expt"
+	"adnet/internal/runkey"
+	"adnet/internal/sim"
 	"adnet/internal/temporal"
 )
 
-// ErrSweepBusy is returned when the concurrent-sweep limit is reached.
-var ErrSweepBusy = errors.New("service: too many concurrent sweeps")
+// Sweep submission/aggregation errors surfaced to the API layer.
+var (
+	// ErrSweepBusy is returned when the concurrent-sweep limit is reached.
+	ErrSweepBusy = errors.New("service: too many concurrent sweeps")
+	// ErrSweepRunning rejects aggregation of a sweep that has not
+	// reached a terminal state yet.
+	ErrSweepRunning = errors.New("service: sweep still running")
+)
 
 // SweepCell is the NDJSON-facing result of one grid cell.
 type SweepCell struct {
@@ -34,47 +45,301 @@ type SweepSummary struct {
 	Errors    int  `json:"errors"`
 }
 
-// Sweep is a validated, ready-to-run grid bound to its Manager.
-type Sweep struct {
-	m    *Manager
-	spec expt.SweepSpec
+// SweepJob tracks one submitted SweepSpec grid through the same
+// lifecycle as a run Job: queued → running → done/failed/canceled.
+// Finished cells are retained on the job's CellStream (bounded by the
+// sweep-cell limit) so any number of late subscribers can replay them;
+// individual cell results additionally land in the manager's LRU
+// result cache under their canonical run keys.
+type SweepJob struct {
+	ID   string
+	Spec SweepSpec
+
+	grid   expt.SweepSpec
+	cells  *CellStream
+	cancel chan struct{}
+
+	mu         sync.Mutex
+	cancelOnce sync.Once
+	state      JobState
+	summary    *SweepSummary
+	err        error
+	enqueued   time.Time
+	started    time.Time
+	finished   time.Time
 }
 
-// PrepareSweep validates spec against the service limits and returns
-// the runnable sweep. Validation happens here — before any bytes are
-// streamed — so the HTTP layer can still answer 400.
-func (m *Manager) PrepareSweep(spec SweepSpec) (*Sweep, error) {
-	if err := spec.Validate(m.cfg.MaxN, m.cfg.MaxSweepCells); err != nil {
-		return nil, err
+// SweepStatus is the JSON-facing snapshot of a SweepJob.
+type SweepStatus struct {
+	ID    string    `json:"id"`
+	Spec  SweepSpec `json:"spec"`
+	State JobState  `json:"state"`
+	// Cells is the grid volume; CellsDone counts cells already
+	// finished and streamed.
+	Cells      int           `json:"cells"`
+	CellsDone  int           `json:"cells_done"`
+	Summary    *SweepSummary `json:"summary,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	EnqueuedAt time.Time     `json:"enqueued_at"`
+	StartedAt  *time.Time    `json:"started_at,omitempty"`
+	FinishedAt *time.Time    `json:"finished_at,omitempty"`
+}
+
+// Status snapshots the sweep job.
+func (j *SweepJob) Status() SweepStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := SweepStatus{
+		ID:         j.ID,
+		Spec:       j.Spec,
+		State:      j.state,
+		Cells:      j.grid.NumCells(),
+		CellsDone:  j.cells.Len(),
+		EnqueuedAt: j.enqueued,
 	}
-	return &Sweep{m: m, spec: spec.Expt()}, nil
+	if j.summary != nil {
+		s := *j.summary
+		st.Summary = &s
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
 }
 
-// NumCells returns the grid size.
-func (s *Sweep) NumCells() int { return s.spec.NumCells() }
+// Stream exposes the job's cell stream for subscribers.
+func (j *SweepJob) Stream() *CellStream { return j.cells }
 
-// Run executes the grid on an engine fleet of cfg.SweepWorkers
+// State returns the current lifecycle phase.
+func (j *SweepJob) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *SweepJob) setState(s JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = s
+	switch s {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCanceled:
+		j.finished = time.Now()
+	}
+}
+
+// finish publishes the terminal state, summary and error in one
+// critical section: a status poll must never observe a summary (or
+// error) on a still-running sweep — clients treat summary presence as
+// completion.
+func (j *SweepJob) finish(state JobState, sum SweepSummary, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.summary = &sum
+	j.err = err
+	j.finished = time.Now()
+}
+
+// Aggregate folds the sweep's finished cells into per-(algorithm,
+// workload, n) statistics over seeds. Only terminal sweeps aggregate
+// (ErrSweepRunning otherwise); a canceled or failed sweep aggregates
+// the cells that did finish, with the rest counted as group errors.
+func (j *SweepJob) Aggregate() ([]expt.AggregateGroup, error) {
+	switch j.State() {
+	case StateDone, StateFailed, StateCanceled:
+	default:
+		return nil, ErrSweepRunning
+	}
+	cells := j.cells.snapshot()
+	results := make([]expt.CellResult, len(cells))
+	for i, c := range cells {
+		cr := expt.CellResult{
+			Index: c.Index,
+			Cell: expt.Cell{
+				Algorithm: c.Algorithm, Workload: c.Workload,
+				N: c.N, Seed: c.Seed, MaxRounds: c.MaxRounds,
+			},
+			FromCache: c.FromCache,
+		}
+		if c.Error != "" {
+			cr.Err = errors.New(c.Error)
+		} else if c.Outcome != nil {
+			cr.Outcome = *c.Outcome
+		}
+		results[i] = cr
+	}
+	return expt.Aggregate(results), nil
+}
+
+// SubmitSweep validates spec and registers a fire-and-forget sweep
+// job: the call returns as soon as the job exists, the grid runs on
+// its own engine fleet in the background. Concurrent sweeps are
+// bounded by cfg.MaxConcurrentSweeps; beyond that SubmitSweep fails
+// fast with ErrSweepBusy.
+func (m *Manager) SubmitSweep(spec SweepSpec) (*SweepJob, error) {
+	if err := spec.Validate(m.cfg.MaxN, m.cfg.MaxSweepCells); err != nil {
+		return nil, fmt.Errorf("service: invalid sweep: %w", err)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case m.sweepGate <- struct{}{}:
+	default:
+		m.mu.Unlock()
+		return nil, ErrSweepBusy
+	}
+	j := m.newSweepJob(spec)
+	m.sweeps[j.ID] = j
+	m.sweepWG.Add(1)
+	m.mu.Unlock()
+	go m.executeSweep(j)
+	return j, nil
+}
+
+func (m *Manager) newSweepJob(spec SweepSpec) *SweepJob {
+	seq := m.seq.Add(1)
+	return &SweepJob{
+		ID:       fmt.Sprintf("sweep-%06d-%s", seq, runkey.ShortHash(spec.Key())),
+		Spec:     spec,
+		grid:     spec.Expt(),
+		cells:    newCellStream(),
+		cancel:   make(chan struct{}),
+		state:    StateQueued,
+		enqueued: time.Now(),
+	}
+}
+
+// GetSweep looks a sweep job up by ID.
+func (m *Manager) GetSweep(id string) (*SweepJob, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.sweeps[id]
+	return j, ok
+}
+
+// Sweeps snapshots every known sweep job's status.
+func (m *Manager) Sweeps() []SweepStatus {
+	m.mu.Lock()
+	jobs := make([]*SweepJob, 0, len(m.sweeps))
+	for _, j := range m.sweeps {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]SweepStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// CancelSweep aborts a queued or running sweep: cells not yet started
+// are skipped, in-flight cells are interrupted between rounds.
+// Terminal sweeps return ErrNotRunning.
+func (m *Manager) CancelSweep(id string) error {
+	j, ok := m.GetSweep(id)
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		j.mu.Unlock()
+		return ErrNotRunning
+	}
+	j.mu.Unlock()
+	j.cancelOnce.Do(func() { close(j.cancel) })
+	return nil
+}
+
+// retireSweep records a finished sweep and evicts the oldest finished
+// sweeps beyond the retention bound.
+func (m *Manager) retireSweep(j *SweepJob) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retiredSweeps = append(m.retiredSweeps, j.ID)
+	for len(m.retiredSweeps) > m.cfg.RetainSweeps {
+		delete(m.sweeps, m.retiredSweeps[0])
+		m.retiredSweeps = m.retiredSweeps[1:]
+	}
+}
+
+// executeSweep is the sweep job's background lifecycle: acquire state,
+// run the grid with cancellation and the sweep time limit attached,
+// publish cells, record the summary, close the stream.
+func (m *Manager) executeSweep(j *SweepJob) {
+	defer m.sweepWG.Done()
+	defer func() {
+		<-m.sweepGate
+		j.cells.close()
+		m.retireSweep(j)
+	}()
+
+	select {
+	case <-j.cancel:
+		// Keep the wire contract uniform even when no cell ran: a
+		// pre-start-canceled sweep streams the same shape a mid-grid
+		// cancellation produces for its unreached cells — one
+		// error-marked line per cell, then a summary counting them.
+		skipErr := fmt.Sprintf("expt: cell skipped: %v", sim.ErrCanceled)
+		for i, c := range j.grid.Cells() {
+			j.cells.publish(SweepCell{
+				Index: i, Algorithm: c.Algorithm, Workload: c.Workload,
+				N: c.N, Seed: c.Seed, MaxRounds: c.MaxRounds, Error: skipErr,
+			})
+		}
+		n := j.grid.NumCells()
+		j.finish(StateCanceled, SweepSummary{Cells: n, Errors: n}, context.Canceled)
+		return
+	default:
+	}
+	j.setState(StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.SweepTimeLimit)
+	defer cancel()
+	go func() {
+		select {
+		case <-j.cancel:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	sum, err := m.runGrid(ctx, j.grid, func(c SweepCell) { j.cells.publish(c) })
+	switch {
+	case err == nil:
+		j.finish(StateDone, sum, nil)
+	case errors.Is(err, sim.ErrCanceled) && wasCanceled(j.cancel):
+		j.finish(StateCanceled, sum, fmt.Errorf("canceled by request: %w", err))
+	case errors.Is(err, sim.ErrCanceled):
+		j.finish(StateFailed, sum, fmt.Errorf("sweep time limit %s exceeded: %w", m.cfg.SweepTimeLimit, err))
+	default:
+		j.finish(StateFailed, sum, err)
+	}
+}
+
+// runGrid executes the grid on an engine fleet of cfg.SweepWorkers
 // runners, consulting the manager's result cache per cell (the keys
 // are canonical, so cells repeat runs submitted via POST /v1/runs and
 // vice versa) and storing fresh results — with per-round statistics,
 // so later cache-hit runs can still replay their round streams. emit
-// receives cells in canonical grid order from the calling goroutine,
-// followed by nothing else; the caller renders the summary returned
-// by Run. Cancellation via ctx aborts between rounds/cells.
-//
-// Concurrent sweeps are bounded by cfg.MaxConcurrentSweeps; beyond
-// that Run fails fast with ErrSweepBusy.
-func (s *Sweep) Run(ctx context.Context, emit func(SweepCell)) (SweepSummary, error) {
-	m := s.m
-	select {
-	case m.sweepGate <- struct{}{}:
-		defer func() { <-m.sweepGate }()
-	default:
-		return SweepSummary{}, ErrSweepBusy
-	}
-
-	sum := SweepSummary{Cells: s.spec.NumCells()}
-	_, err := expt.ExecuteSweep(s.spec, expt.SweepOptions{
+// receives cells in canonical grid order from the calling goroutine.
+// Cancellation via ctx aborts between rounds/cells.
+func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(SweepCell)) (SweepSummary, error) {
+	sum := SweepSummary{Cells: spec.NumCells()}
+	_, err := expt.ExecuteSweep(spec, expt.SweepOptions{
 		Workers:       m.cfg.SweepWorkers,
 		CollectRounds: true,
 		Cancel:        ctx.Done(),
