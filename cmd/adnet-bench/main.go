@@ -34,6 +34,7 @@
 //	adnet-bench -aggregate -algos graph-to-star,flood \
 //	            -workloads line,ring -sizes 256,1024 -seeds 1,2,3,4,5
 //	adnet-bench -aggregate -json ...   # groups as a JSON array
+//	adnet-bench -aggregate -csv ...    # one CSV row per group
 //
 // Each record reports the workload, rounds executed, wall-clock
 // ns/round and heap allocations (count and bytes) per round.
@@ -62,6 +63,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "perf mode: workload seed")
 	aggregate := flag.Bool("aggregate", false, "run the grid through the sweep path and print per-(algorithm, workload, n) aggregates over -seeds")
 	seedsFlag := flag.String("seeds", "1,2,3,4,5", "aggregate mode: comma-separated workload seeds")
+	csvOut := flag.Bool("csv", false, "aggregate mode: emit CSV (one row per group) instead of a table")
 	compare := flag.String("compare", "", "re-measure the grid of this BENCH_*.json and diff (CI perf gate)")
 	allocTh := flag.Float64("alloc-threshold", 0.25, "compare: max tolerated allocs/round regression (fraction)")
 	nsTh := flag.Float64("ns-threshold", 0, "compare: max tolerated ns/round regression (fraction; 0 = report only)")
@@ -76,6 +78,9 @@ func main() {
 			}
 			sizes = append(sizes, v)
 		}
+	}
+	if *csvOut && (!*aggregate || *jsonOut) {
+		fatal(fmt.Errorf("-csv requires -aggregate and excludes -json"))
 	}
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -98,7 +103,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runAggregate(splitList(*algosFlag), splitList(*workloadsFlag), sizes, seeds, *jsonOut); err != nil {
+		if err := runAggregate(splitList(*algosFlag), splitList(*workloadsFlag), sizes, seeds, *jsonOut, *csvOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -224,8 +229,9 @@ func measure(r *expt.Runner, cell expt.Cell) (perfRecord, error) {
 // per-(algorithm, workload, n) statistics over seeds — the paper's
 // table shape, computed exactly like the server's aggregate endpoint.
 // With -json the groups are emitted as the same JSON array the
-// /v1/sweeps/{id}/aggregate endpoint nests under "groups".
-func runAggregate(algos, workloads []string, sizes []int, seeds []int64, asJSON bool) error {
+// /v1/sweeps/{id}/aggregate endpoint nests under "groups"; with -csv
+// as one CSV row per group.
+func runAggregate(algos, workloads []string, sizes []int, seeds []int64, asJSON, asCSV bool) error {
 	if len(sizes) == 0 {
 		sizes = []int{256, 1024}
 	}
@@ -238,10 +244,13 @@ func runAggregate(algos, workloads []string, sizes []int, seeds []int64, asJSON 
 	if err != nil {
 		return err
 	}
-	if asJSON {
+	switch {
+	case asJSON:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(groups)
+	case asCSV:
+		return expt.AggregateCSV(os.Stdout, groups)
 	}
 	fmt.Println(expt.AggregateTable(groups).String())
 	return nil

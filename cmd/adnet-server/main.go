@@ -20,6 +20,14 @@
 //	curl -s localhost:8080/v1/sweeps/<id>
 //	curl -sN localhost:8080/v1/sweeps/<id>/cells
 //	curl -s localhost:8080/v1/sweeps/<id>/aggregate
+//
+// With -coordinator the server runs no local sweeps: it shards each
+// sweep grid across the worker servers registered with -fleet-workers
+// (or POST /v1/fleet/workers) and merges their cell streams and
+// aggregates — see the fleet topology section of DESIGN.md:
+//
+//	adnet-server -addr :8080 -coordinator \
+//	    -fleet-workers http://worker1:8081,http://worker2:8082
 package main
 
 import (
@@ -31,9 +39,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"adnet/internal/fleet"
 	"adnet/internal/service"
 )
 
@@ -50,9 +60,34 @@ func main() {
 	sweeps := flag.Int("sweeps", 2, "concurrent sweeps before 503")
 	sweepTimeLimit := flag.Duration("sweep-time-limit", 10*time.Minute, "wall-clock budget per sweep job")
 	retainSweeps := flag.Int("retain-sweeps", 64, "finished sweep jobs kept queryable")
+	coordinator := flag.Bool("coordinator", false, "coordinator mode: shard sweep grids across registered worker servers instead of the local engine fleet")
+	fleetWorkers := flag.String("fleet-workers", "", "coordinator mode: comma-separated worker base URLs registered at startup (more can join via POST /v1/fleet/workers)")
 	flag.Parse()
 
+	var coord *fleet.Coordinator
+	switch {
+	case *coordinator:
+		coord = fleet.New(fleet.Config{})
+		for _, u := range strings.Split(*fleetWorkers, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			st, err := coord.Register(context.Background(), u)
+			if err != nil {
+				// Not fatal: the worker may come up later and register
+				// itself (or be re-registered) via the fleet endpoint.
+				log.Printf("adnet-server: fleet: %v", err)
+				continue
+			}
+			log.Printf("adnet-server: fleet worker %s registered at %s", st.ID, st.URL)
+		}
+	case *fleetWorkers != "":
+		fatal(errors.New("-fleet-workers requires -coordinator"))
+	}
+
 	mgr := service.NewManager(service.Config{
+		Fleet:               coord,
 		Workers:             *workers,
 		QueueDepth:          *queue,
 		CacheSize:           *cache,

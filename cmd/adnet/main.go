@@ -12,6 +12,11 @@
 // of the same table the server's aggregate endpoint serves:
 //
 //	adnet -algo graph-to-star -graph random -n 512 -aggregate -seeds 1,2,3,4,5
+//
+// With -csv the aggregate row is emitted as CSV (header + one row per
+// (algorithm, workload, n) group) for plotting pipelines:
+//
+//	adnet -algo graph-to-star -graph random -n 512 -aggregate -csv
 package main
 
 import (
@@ -33,10 +38,14 @@ func main() {
 	verify := flag.Bool("verify", false, "fail unless a unique correct leader was elected")
 	aggregate := flag.Bool("aggregate", false, "repeat across -seeds and print mean/min/max/stddev statistics")
 	seedsFlag := flag.String("seeds", "1,2,3,4,5", "aggregate mode: comma-separated workload seeds")
+	csvOut := flag.Bool("csv", false, "aggregate mode: emit CSV (one row per group) instead of a table")
 	flag.Parse()
 
+	if *csvOut && !*aggregate {
+		fatal(fmt.Errorf("-csv requires -aggregate"))
+	}
 	if *aggregate {
-		if err := runAggregate(*algo, *workload, *n, *seedsFlag, *verify); err != nil {
+		if err := runAggregate(*algo, *workload, *n, *seedsFlag, *verify, *csvOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -68,8 +77,9 @@ func main() {
 }
 
 // runAggregate executes the single-(algorithm, workload, n) grid over
-// every seed through the sweep fleet and prints the aggregate row.
-func runAggregate(algo, workload string, n int, seedList string, verify bool) error {
+// every seed through the sweep fleet and prints the aggregate row —
+// as an aligned table, or as CSV with asCSV.
+func runAggregate(algo, workload string, n int, seedList string, verify, asCSV bool) error {
 	seeds, err := expt.ParseSeeds(seedList)
 	if err != nil {
 		return err
@@ -83,7 +93,13 @@ func runAggregate(algo, workload string, n int, seedList string, verify bool) er
 	if err != nil {
 		return err
 	}
-	fmt.Println(expt.AggregateTable(groups).String())
+	if asCSV {
+		if err := expt.AggregateCSV(os.Stdout, groups); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(expt.AggregateTable(groups).String())
+	}
 	if verify {
 		for _, g := range groups {
 			if g.Errors > 0 || g.LeadersOK != g.Seeds {

@@ -17,9 +17,9 @@ import (
 )
 
 // startServer builds the real adnet-server binary and runs it on a
-// free localhost port, returning the base URL. The process is torn
-// down with the test.
-func startServer(t *testing.T) string {
+// free localhost port with the extra flags appended, returning the
+// base URL. The process is torn down with the test.
+func startServer(t *testing.T, extra ...string) string {
 	t.Helper()
 	bin := filepath.Join(t.TempDir(), "adnet-server")
 	build := exec.Command("go", "build", "-o", bin, "./cmd/adnet-server")
@@ -36,7 +36,8 @@ func startServer(t *testing.T) string {
 	ln.Close()
 
 	var logs bytes.Buffer
-	srv := exec.Command(bin, "-addr", addr, "-workers", "2", "-sweep-workers", "2")
+	args := append([]string{"-addr", addr, "-workers", "2", "-sweep-workers", "2"}, extra...)
+	srv := exec.Command(bin, args...)
 	srv.Stdout = &logs
 	srv.Stderr = &logs
 	if err := srv.Start(); err != nil {
@@ -384,6 +385,154 @@ func TestSweepJobCancelEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("DELETE unknown sweep = %d", resp.StatusCode)
 	}
+}
+
+// TestFleetCoordinatorEndToEnd drives the distributed sweep fabric
+// over real processes: one coordinator and two worker adnet-servers.
+// The coordinator shards the grid across the workers, merges their
+// NDJSON cell streams into canonical order, and serves a fold-merged
+// aggregate byte-identical to the same sweep run directly on one
+// worker — while executing zero simulations itself.
+func TestFleetCoordinatorEndToEnd(t *testing.T) {
+	w1 := startServer(t)
+	w2 := startServer(t)
+	coord := startServer(t, "-coordinator", "-fleet-workers", w1+","+w2)
+
+	// The registry knows both workers and reports them healthy.
+	var workers []map[string]json.RawMessage
+	if code := getJSON(t, coord+"/v1/fleet/workers", &workers); code != http.StatusOK {
+		t.Fatalf("GET /v1/fleet/workers = %d", code)
+	}
+	if len(workers) != 2 {
+		t.Fatalf("registry has %d workers, want 2", len(workers))
+	}
+	for _, w := range workers {
+		requireKeys(t, w, "worker", "id", "url", "healthy", "last_probe")
+		var healthy bool
+		json.Unmarshal(w["healthy"], &healthy)
+		if !healthy {
+			t.Fatalf("worker not healthy: %v", w)
+		}
+	}
+
+	const (
+		sweepBody = `{"algorithms":["graph-to-star","flood"],"workloads":["line"],"sizes":[16,24],"seeds":[1,2,3]}`
+		cells     = 2 * 2 * 3
+	)
+	id, code := postSweep(t, coord, sweepBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps to coordinator = %d", code)
+	}
+	status := awaitSweep(t, coord, id, "done")
+	var summary map[string]json.RawMessage
+	json.Unmarshal(status["summary"], &summary)
+	requireKeys(t, summary, "summary", "done", "cells", "cache_hits", "executed", "errors")
+	var executed, errCount int
+	json.Unmarshal(summary["executed"], &executed)
+	json.Unmarshal(summary["errors"], &errCount)
+	if executed != cells || errCount != 0 {
+		t.Fatalf("summary executed/errors = %d/%d, want %d/0", executed, errCount, cells)
+	}
+
+	// The merged stream replays every cell in canonical order with the
+	// same wire shape a single-process sweep streams.
+	resp, err := http.Get(coord + "/v1/sweeps/" + id + "/cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("cells Content-Type = %q", ct)
+	}
+	streamed := 0
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(line, &obj); err != nil {
+			t.Fatalf("bad NDJSON line %s: %v", line, err)
+		}
+		if _, isSummary := obj["done"]; isSummary {
+			sawSummary = true
+			continue
+		}
+		requireKeys(t, obj, "merged cell", "index", "algorithm", "workload", "n", "seed", "from_cache", "outcome")
+		var idx int
+		json.Unmarshal(obj["index"], &idx)
+		if idx != streamed {
+			t.Fatalf("merged cell index %d at position %d: not canonical order", idx, streamed)
+		}
+		streamed++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != cells || !sawSummary {
+		t.Fatalf("merged stream: %d cells (summary=%v), want %d + summary", streamed, sawSummary, cells)
+	}
+
+	// Acceptance criterion over real processes: the coordinator's
+	// fold-merged aggregate is byte-identical to the same grid swept
+	// directly on a single worker.
+	coordGroups := rawAggregateGroups(t, coord, id)
+	refID, code := postSweep(t, w1, sweepBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps to worker = %d", code)
+	}
+	awaitSweep(t, w1, refID, "done")
+	workerGroups := rawAggregateGroups(t, w1, refID)
+	if !bytes.Equal(coordGroups, workerGroups) {
+		t.Fatalf("coordinator aggregate diverged from single-process worker:\n%s\nvs\n%s",
+			coordGroups, workerGroups)
+	}
+
+	// The coordinator distributed all simulation work: its own engine
+	// ran nothing, and the workers' healthz counters carry the grid.
+	var health struct {
+		Stats struct {
+			RunsExecuted int64 `json:"runs_executed"`
+			Coordinator  bool  `json:"coordinator"`
+			FleetWorkers int   `json:"fleet_workers"`
+		} `json:"stats"`
+	}
+	if code := getJSON(t, coord+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("coordinator healthz = %d", code)
+	}
+	if health.Stats.RunsExecuted != 0 || !health.Stats.Coordinator || health.Stats.FleetWorkers != 2 {
+		t.Fatalf("coordinator healthz stats = %+v", health.Stats)
+	}
+	var total int64
+	for _, w := range []string{w1, w2} {
+		if code := getJSON(t, w+"/healthz", &health); code != http.StatusOK {
+			t.Fatalf("worker healthz = %d", code)
+		}
+		total += health.Stats.RunsExecuted
+	}
+	// w1 additionally executed the fresh cells of the reference sweep
+	// (its shard cells were cache hits), so the floor is the grid once.
+	if total < cells {
+		t.Fatalf("workers executed %d runs in total, want at least %d", total, cells)
+	}
+}
+
+// rawAggregateGroups fetches an aggregate and returns the raw bytes of
+// its "groups" array for byte-level comparison.
+func rawAggregateGroups(t *testing.T, base, id string) []byte {
+	t.Helper()
+	var agg struct {
+		Groups json.RawMessage `json:"groups"`
+	}
+	if code := getJSON(t, base+"/v1/sweeps/"+id+"/aggregate", &agg); code != http.StatusOK {
+		t.Fatalf("GET %s/v1/sweeps/%s/aggregate = %d", base, id, code)
+	}
+	if len(agg.Groups) == 0 {
+		t.Fatalf("aggregate of %s has no groups payload", id)
+	}
+	return agg.Groups
 }
 
 // TestHealthzShape pins the healthz wire shape a monitoring client

@@ -1,7 +1,9 @@
 package expt
 
 import (
+	"encoding/csv"
 	"fmt"
+	"io"
 	"math"
 	"strconv"
 	"strings"
@@ -128,6 +130,43 @@ func aggregateGroup(cells []CellResult) AggregateGroup {
 	return g
 }
 
+// MergeAggregates fold-merges per-shard aggregate group lists into the
+// whole-grid aggregate. Shards must partition the grid along group
+// boundaries and arrive in canonical grid order — the fleet planner
+// guarantees both (a shard is a whole number of (algorithm, workload,
+// n) rows) — so each group's statistics were computed over exactly the
+// seeds a single-process Aggregate of the same grid would use, and
+// merging reduces to concatenation: the result is byte-for-byte
+// identical to the single-process aggregate. A group repeated across
+// shards (a re-dispatched shard overlapping a completed one) must be
+// identical — runs are deterministic — and is deduplicated; a group
+// whose statistics differ between shards means the shards split a
+// group's seeds and cannot merge exactly, which is an error.
+func MergeAggregates(shards ...[]AggregateGroup) ([]AggregateGroup, error) {
+	type key struct {
+		algorithm, workload string
+		n                   int
+	}
+	var out []AggregateGroup
+	seen := make(map[key]int)
+	for _, shard := range shards {
+		for _, g := range shard {
+			k := key{g.Algorithm, g.Workload, g.N}
+			if i, ok := seen[k]; ok {
+				if out[i] != g {
+					return nil, fmt.Errorf(
+						"expt: group %s/%s n=%d split across shards: cannot fold-merge exactly",
+						g.Algorithm, g.Workload, g.N)
+				}
+				continue
+			}
+			seen[k] = len(out)
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
 // AggregateSweep executes the grid on a default engine fleet and
 // folds the results — the one-call form behind the CLIs' -aggregate
 // modes, computing exactly what the service's aggregate endpoint
@@ -204,4 +243,51 @@ func trimFloat(x float64) string {
 		return strconv.FormatFloat(x, 'f', 0, 64)
 	}
 	return strconv.FormatFloat(x, 'f', 2, 64)
+}
+
+// csvMeasures is the single source of truth for the CSV export's
+// measure columns: the same entry yields a measure's header names and
+// its row values, so the two cannot drift apart.
+var csvMeasures = []struct {
+	name string
+	stat func(AggregateGroup) Stat
+}{
+	{"rounds", func(g AggregateGroup) Stat { return g.Rounds }},
+	{"total_activations", func(g AggregateGroup) Stat { return g.TotalActivations }},
+	{"max_activated_edges", func(g AggregateGroup) Stat { return g.MaxActivatedEdges }},
+	{"max_activated_degree", func(g AggregateGroup) Stat { return g.MaxActivatedDegree }},
+	{"total_messages", func(g AggregateGroup) Stat { return g.TotalMessages }},
+}
+
+// AggregateCSV writes groups as CSV — a header row, then one row per
+// (algorithm, workload, n) group with mean/min/max/stddev columns for
+// every cost measure. Floats use the shortest exact representation
+// (strconv 'g', precision -1), so the export round-trips the aggregate
+// bit-for-bit into plotting pipelines. This is the figure-ready shape
+// behind the CLIs' -csv flags.
+func AggregateCSV(w io.Writer, groups []AggregateGroup) error {
+	cw := csv.NewWriter(w)
+	header := []string{"algorithm", "workload", "n", "seeds", "errors", "leaders_ok"}
+	for _, m := range csvMeasures {
+		header = append(header, m.name+"_mean", m.name+"_min", m.name+"_max", m.name+"_stddev")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	for _, g := range groups {
+		row := []string{
+			g.Algorithm, g.Workload,
+			strconv.Itoa(g.N), strconv.Itoa(g.Seeds), strconv.Itoa(g.Errors), strconv.Itoa(g.LeadersOK),
+		}
+		for _, m := range csvMeasures {
+			s := m.stat(g)
+			row = append(row, f(s.Mean), f(s.Min), f(s.Max), f(s.StdDev))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

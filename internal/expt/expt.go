@@ -175,20 +175,35 @@ func Workloads() []string {
 
 // Workload builds the named initial-network family at size n.
 func Workload(name string, n int, seed int64) (*graph.Graph, error) {
+	return WorkloadInto(graph.New(), nil, name, n, seed)
+}
+
+// WorkloadInto builds the named family at size n into dst, resetting
+// and reusing its backing arrays (see graph.Reset). scratch, when
+// non-nil, is reused the same way by families that need an
+// intermediate graph ("random" permutes a generated graph); a nil
+// scratch is allocated on demand. The per-Runner arena behind
+// engine-fleet sweeps calls this so repeated cells pay workload
+// generation only on growth; the generated graph is identical to
+// Workload's for equal parameters.
+func WorkloadInto(dst, scratch *graph.Graph, name string, n int, seed int64) (*graph.Graph, error) {
 	rng := rand.New(rand.NewSource(seed))
 	switch name {
 	case "line":
-		return graph.Line(n), nil
+		return graph.LineInto(dst, n), nil
 	case "ring", "increasing-ring":
-		return graph.IncreasingRing(n), nil
+		return graph.IncreasingRingInto(dst, n), nil
 	case "random-tree":
-		return graph.RandomTree(n, rng), nil
+		return graph.RandomTreeInto(dst, n, rng), nil
 	case "bounded-degree":
-		return graph.RandomBoundedDegree(n, 4, n/2, rng)
+		return graph.RandomBoundedDegreeInto(dst, n, 4, n/2, rng)
 	case "random":
-		return graph.PermuteIDs(graph.RandomConnected(n, n, rng), rng), nil
+		if scratch == nil {
+			scratch = graph.New()
+		}
+		return graph.PermuteIDsInto(dst, graph.RandomConnectedInto(scratch, n, n, rng), rng), nil
 	case "star":
-		return graph.Star(n), nil
+		return graph.StarInto(dst, n), nil
 	default:
 		return nil, fmt.Errorf("expt: unknown workload %q", name)
 	}

@@ -20,19 +20,29 @@ import (
 // fleet of Runners.
 type Runner struct {
 	eng *sim.Engine
+	// Workload arena: generators build into these two graphs (the
+	// second is scratch for families that permute an intermediate),
+	// so repeated Execute calls reuse the adjacency backing arrays
+	// instead of allocating a fresh graph per cell. Safe because the
+	// engine copies the initial graph canonically at Reset and never
+	// retains the caller's graph.
+	wg, wscratch *graph.Graph
 }
 
 // NewRunner returns a fresh Runner. Close it to release the engine's
 // worker pool.
-func NewRunner() *Runner { return &Runner{eng: sim.NewEngine()} }
+func NewRunner() *Runner {
+	return &Runner{eng: sim.NewEngine(), wg: graph.New(), wscratch: graph.New()}
+}
 
 // Close releases the underlying engine.
 func (r *Runner) Close() { r.eng.Close() }
 
 // Execute builds the workload and runs the algorithm on it, like the
-// package-level Execute but reusing the Runner's engine.
+// package-level Execute but reusing the Runner's engine and workload
+// arena.
 func (r *Runner) Execute(req Request) (Outcome, error) {
-	g, err := Workload(req.Workload, req.N, req.Seed)
+	g, err := WorkloadInto(r.wg, r.wscratch, req.Workload, req.N, req.Seed)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -165,6 +175,22 @@ type CellResult struct {
 	FromCache bool                  // answered by Lookup without running
 	Ran       bool                  // a simulation actually executed
 	Err       error                 // run failure or cancellation for this cell
+}
+
+// WireCellResult reconstructs the CellResult a streamed wire cell (a
+// sweep's NDJSON cell line) denotes, for re-folding streamed cells
+// through Aggregate. The service's aggregate endpoint and the fleet
+// coordinator's local fallback fold both go through this one
+// conversion — which is what keeps their aggregates byte-identical to
+// each other and to the worker that streamed the cells.
+func WireCellResult(index int, cell Cell, fromCache bool, outcome *Outcome, errText string) CellResult {
+	cr := CellResult{Index: index, Cell: cell, FromCache: fromCache}
+	if errText != "" {
+		cr.Err = errors.New(errText)
+	} else if outcome != nil {
+		cr.Outcome = *outcome
+	}
+	return cr
 }
 
 // SweepOptions configures ExecuteSweep.

@@ -1,0 +1,327 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"adnet/internal/expt"
+)
+
+// Cell mirrors one line of a worker's NDJSON cell stream (the
+// service's SweepCell wire shape). The coordinator rewrites Index from
+// shard-local to global before merging.
+type Cell struct {
+	Index     int           `json:"index"`
+	Algorithm string        `json:"algorithm"`
+	Workload  string        `json:"workload"`
+	N         int           `json:"n"`
+	Seed      int64         `json:"seed"`
+	MaxRounds int           `json:"max_rounds,omitempty"`
+	FromCache bool          `json:"from_cache"`
+	Outcome   *expt.Outcome `json:"outcome,omitempty"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// shardSummary is the worker's trailing sweep-summary line.
+type shardSummary struct {
+	Done      bool `json:"done"`
+	Cells     int  `json:"cells"`
+	CacheHits int  `json:"cache_hits"`
+	Executed  int  `json:"executed"`
+	Errors    int  `json:"errors"`
+}
+
+// sweepSpecWire is the POST /v1/sweeps request body (the service's
+// SweepSpec wire shape, written from the client side).
+type sweepSpecWire struct {
+	Algorithms []string `json:"algorithms"`
+	Workloads  []string `json:"workloads"`
+	Sizes      []int    `json:"sizes"`
+	Seeds      []int64  `json:"seeds"`
+	MaxRounds  int      `json:"max_rounds,omitempty"`
+}
+
+// errWorkerBusy marks a dispatch rejected by the worker's sweep gate
+// (HTTP 503): the worker is saturated with its own client sweeps, not
+// broken, so the dispatcher requeues the shard without taking the
+// worker out of rotation.
+var errWorkerBusy = errors.New("fleet: worker sweep gate busy")
+
+// errSweepIncomplete marks a dispatch whose worker-side sweep ended
+// without completing (done:false — a worker sweep time limit or a
+// third-party cancellation). The worker proved itself alive by
+// streaming the full canceled shape, so like errWorkerBusy this
+// requeues the shard without costing the worker its health.
+var errSweepIncomplete = errors.New("fleet: worker sweep ended incomplete")
+
+// errDispatchRejected marks a shard POST the worker deterministically
+// refused (4xx — e.g. the worker's sweep cell/size limits are tighter
+// than the coordinator's). Retrying elsewhere would fail identically,
+// so the dispatcher fails the sweep fast without poisoning any
+// worker's health.
+var errDispatchRejected = errors.New("fleet: worker rejected the shard spec")
+
+// shardProgress is the coordinator's per-shard bookkeeping. It is
+// owned by whichever dispatcher currently runs the shard — ownership
+// is handed over through the shard queue, never shared — so no lock
+// is needed.
+type shardProgress struct {
+	// attempts counts failed dispatches; at cfg.ShardAttempts the
+	// sweep fails.
+	attempts int
+	// summary and groups are recorded by the dispatch that completed
+	// the shard.
+	summary *shardSummary
+	groups  []expt.AggregateGroup
+}
+
+// runShard executes one shard on one worker: submit the sub-grid
+// sweep, tail its cell stream, and — only once the worker's summary
+// confirms the sweep completed (done=true, so a worker-side timeout
+// or third-party cancellation never masquerades as a result) —
+// deliver every cell with its global index, in shard order, and fetch
+// the worker's aggregate for the shard. Delivering after completion
+// rather than live means a failed dispatch delivers nothing: a
+// re-dispatched shard merges exactly once, with no cross-attempt
+// cursor to reconcile. A dispatch that fails for any reason cancels
+// its worker-side sweep best-effort so an abandoned shard does not
+// keep burning worker time.
+func (c *Coordinator) runShard(ctx context.Context, w *worker, sh Shard, sp *shardProgress, deliver func(Cell)) (err error) {
+	id, err := c.postSweep(ctx, w, sh.Spec)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil || ctx.Err() != nil {
+			c.cancelSweep(w, id)
+		}
+	}()
+
+	n := sh.NumCells()
+	collected := make([]Cell, n)
+	have := make([]bool, n)
+	var sum *shardSummary
+	for resumes := 0; ; resumes++ {
+		err := c.tailCells(ctx, w, id, collected, have, &sum)
+		if err == nil && sum != nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if resumes >= c.cfg.StreamResumes {
+			if err == nil {
+				err = errors.New("stream closed before the summary line")
+			}
+			return fmt.Errorf("fleet: shard %d stream on %s gave up after %d resumes: %w",
+				sh.Index, w.url, resumes, err)
+		}
+		select {
+		case <-time.After(c.cfg.RetryBackoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if !sum.Done {
+		// The worker streamed the one-line-per-cell shape of a failed
+		// or canceled sweep (time limit, external DELETE): not a
+		// result — re-dispatch.
+		return fmt.Errorf("%w: shard %d on %s (%d/%d errors)",
+			errSweepIncomplete, sh.Index, w.url, sum.Errors, sum.Cells)
+	}
+	for i, ok := range have {
+		if !ok {
+			return fmt.Errorf("fleet: shard %d: worker %s never streamed cell %d", sh.Index, w.url, i)
+		}
+	}
+	sp.summary = sum
+	for i, cell := range collected {
+		cell.Index = sh.Offset + i
+		deliver(cell)
+	}
+
+	// Prefer the worker's own aggregate of the shard — the sweep is
+	// terminal, so the endpoint serves it — and fall back to folding
+	// the collected cells locally (byte-identical: same cells, same
+	// canonical order, same arithmetic) if the worker died in between.
+	groups, err := c.fetchAggregate(ctx, w, id)
+	if err != nil {
+		groups = localAggregate(collected)
+	}
+	sp.groups = groups
+	return nil
+}
+
+// tailCells streams one pass of GET /v1/sweeps/{id}/cells into
+// collected. The worker replays the shard from cell zero on every
+// pass. Returns nil when the stream ended cleanly (the caller checks
+// whether the summary arrived).
+func (c *Coordinator) tailCells(ctx context.Context, w *worker, id string,
+	collected []Cell, have []bool, sum **shardSummary) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/sweeps/"+id+"/cells", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cells stream returned %d", resp.StatusCode)
+	}
+
+	passSeen := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Done  *bool `json:"done"`
+			Index *int  `json:"index"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return fmt.Errorf("bad NDJSON line: %w", err)
+		}
+		if probe.Done != nil {
+			s := &shardSummary{}
+			if err := json.Unmarshal(line, s); err != nil {
+				return fmt.Errorf("bad summary line: %w", err)
+			}
+			*sum = s
+			continue
+		}
+		var cell Cell
+		if err := json.Unmarshal(line, &cell); err != nil {
+			return fmt.Errorf("bad cell line: %w", err)
+		}
+		if cell.Index != passSeen || cell.Index >= len(collected) {
+			return fmt.Errorf("non-canonical cell stream: index %d at position %d", cell.Index, passSeen)
+		}
+		collected[cell.Index] = cell
+		have[cell.Index] = true
+		passSeen++
+	}
+	return sc.Err()
+}
+
+// postSweep submits the shard's sub-grid and returns the worker-side
+// sweep job ID. A 503 — the worker's fail-fast sweep gate, hit when
+// the worker is saturated with its own client sweeps — surfaces as
+// errWorkerBusy; the dispatcher paces the retries.
+func (c *Coordinator) postSweep(ctx context.Context, w *worker, spec expt.SweepSpec) (string, error) {
+	body, err := json.Marshal(sweepSpecWire{
+		Algorithms: spec.Algorithms,
+		Workloads:  spec.Workloads,
+		Sizes:      spec.Sizes,
+		Seeds:      spec.Seeds,
+		MaxRounds:  spec.MaxRounds,
+	})
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer drainClose(resp)
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return "", fmt.Errorf("%w: %s", errWorkerBusy, w.url)
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("%w: %s returned %d: %s",
+			errDispatchRejected, w.url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("POST /v1/sweeps returned %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var sub struct {
+		Sweep struct {
+			ID string `json:"id"`
+		} `json:"sweep"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return "", err
+	}
+	if sub.Sweep.ID == "" {
+		return "", errors.New("submit response carried no sweep ID")
+	}
+	return sub.Sweep.ID, nil
+}
+
+// fetchAggregate reads the worker's fold of a terminal shard sweep.
+func (c *Coordinator) fetchAggregate(ctx context.Context, w *worker, id string) ([]expt.AggregateGroup, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/sweeps/"+id+"/aggregate", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("aggregate returned %d", resp.StatusCode)
+	}
+	var out struct {
+		Groups []expt.AggregateGroup `json:"groups"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Groups, nil
+}
+
+// cancelSweep aborts an abandoned worker sweep, detached from the
+// (already canceled) sweep context.
+func (c *Coordinator) cancelSweep(w *worker, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, w.url+"/v1/sweeps/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := c.cfg.Client.Do(req); err == nil {
+		drainClose(resp)
+	}
+}
+
+// localAggregate folds a shard's collected cells exactly like the
+// worker's aggregate endpoint does: same cells, same canonical order,
+// same conversion (expt.WireCellResult), same arithmetic — the
+// fallback is byte-identical to the fetch.
+func localAggregate(cells []Cell) []expt.AggregateGroup {
+	results := make([]expt.CellResult, len(cells))
+	for i, c := range cells {
+		results[i] = expt.WireCellResult(i, expt.Cell{
+			Algorithm: c.Algorithm, Workload: c.Workload,
+			N: c.N, Seed: c.Seed, MaxRounds: c.MaxRounds,
+		}, c.FromCache, c.Outcome, c.Error)
+	}
+	return expt.Aggregate(results)
+}
+
+// drainClose consumes what remains of a response body (bounded) so
+// the transport can reuse the connection, then closes it.
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	resp.Body.Close()
+}

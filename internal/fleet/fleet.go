@@ -1,0 +1,309 @@
+// Package fleet is the coordinator side of the distributed sweep
+// fabric: it turns a farm of independent adnet-server processes into
+// one logical sweep executor. The coordinator keeps a registry of
+// worker servers (health-checked over their /healthz endpoints),
+// partitions a sweep grid into deterministic, group-aligned shards
+// (plan.go), dispatches each shard to a worker over the ordinary
+// /v1/sweeps HTTP API and tails its NDJSON cell stream — broken
+// streams are resumed by replaying from cell zero, which the worker's
+// replayable CellStream makes cheap (dispatch.go) — and re-emits one
+// merged cell stream in canonical grid order plus a fold-merged
+// aggregate that is byte-identical to a single-process run of the
+// same grid (run.go).
+//
+// Failure semantics: a shard delivers its cells to the merger only
+// after the worker's trailing summary confirms a completed sweep, so
+// a worker that dies, times out, or has its sweep canceled mid-shard
+// contributes nothing — it is marked unhealthy and the shard is
+// re-dispatched to another healthy worker, merging exactly once. A
+// worker that merely rejects the dispatch with its sweep gate (503)
+// keeps its health; the shard retries with backoff. The sweep fails
+// only when a shard exhausts its dispatch attempts or no healthy
+// worker remains.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registration and execution errors surfaced to the service layer.
+var (
+	// ErrNoWorkers fails a sweep that has no healthy worker to run on.
+	ErrNoWorkers = errors.New("fleet: no healthy workers registered")
+	// ErrDuplicateWorker rejects re-registration of a known worker URL.
+	ErrDuplicateWorker = errors.New("fleet: worker already registered")
+	// ErrInvalidWorkerURL rejects registration of a malformed base URL.
+	ErrInvalidWorkerURL = errors.New("fleet: worker URL must be absolute http(s)")
+)
+
+// Config sizes the coordinator. Zero values pick the documented
+// defaults.
+type Config struct {
+	// Client issues every worker request. The default client has no
+	// overall timeout — a shard's cell stream legally stays open for
+	// minutes — so non-streaming calls are bounded by per-request
+	// contexts instead.
+	Client *http.Client
+	// HealthTimeout bounds one /healthz probe (default 3s).
+	HealthTimeout time.Duration
+	// ShardAttempts is how many dispatches one shard may consume —
+	// across different workers — before the whole sweep fails
+	// (default 3).
+	ShardAttempts int
+	// StreamResumes is how many times a broken cell stream is resumed
+	// on the same worker sweep before the shard counts as failed on
+	// that worker and is re-dispatched elsewhere (default 2).
+	StreamResumes int
+	// RetryBackoff separates stream resume attempts (default 200ms).
+	RetryBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 3 * time.Second
+	}
+	if c.ShardAttempts <= 0 {
+		c.ShardAttempts = 3
+	}
+	if c.StreamResumes <= 0 {
+		c.StreamResumes = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Coordinator owns the worker registry and executes sweep grids across
+// it. All methods are safe for concurrent use.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	workers []*worker
+	seq     int
+}
+
+// New returns a coordinator with an empty registry.
+func New(cfg Config) *Coordinator {
+	return &Coordinator{cfg: cfg.withDefaults()}
+}
+
+// worker is one registered adnet-server process.
+type worker struct {
+	id  string
+	url string
+
+	mu         sync.Mutex
+	healthy    bool
+	lastProbe  time.Time
+	lastErr    string
+	shardsDone int
+}
+
+// WorkerStatus is the JSON-facing snapshot of a registered worker.
+type WorkerStatus struct {
+	ID         string    `json:"id"`
+	URL        string    `json:"url"`
+	Healthy    bool      `json:"healthy"`
+	LastProbe  time.Time `json:"last_probe"`
+	Error      string    `json:"error,omitempty"`
+	ShardsDone int       `json:"shards_done"`
+}
+
+func (w *worker) status() WorkerStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkerStatus{
+		ID:         w.id,
+		URL:        w.url,
+		Healthy:    w.healthy,
+		LastProbe:  w.lastProbe,
+		Error:      w.lastErr,
+		ShardsDone: w.shardsDone,
+	}
+}
+
+func (w *worker) setHealth(healthy bool, errText string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.healthy = healthy
+	w.lastErr = errText
+	w.lastProbe = time.Now()
+}
+
+func (w *worker) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+func (w *worker) noteShardDone() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.shardsDone++
+}
+
+// Register adds a worker server by base URL after a successful health
+// probe; an unreachable worker is not registered. The URL is
+// normalized (trailing slash stripped) and must be absolute http(s).
+// Registering a URL twice returns ErrDuplicateWorker alongside the
+// existing worker's freshly probed status.
+func (c *Coordinator) Register(ctx context.Context, rawURL string) (WorkerStatus, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return WorkerStatus{}, fmt.Errorf("%w: %q", ErrInvalidWorkerURL, rawURL)
+	}
+	base := u.String()
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+
+	c.mu.Lock()
+	for _, w := range c.workers {
+		if w.url == base {
+			c.mu.Unlock()
+			c.probe(ctx, w)
+			return w.status(), ErrDuplicateWorker
+		}
+	}
+	c.seq++
+	w := &worker{id: fmt.Sprintf("worker-%03d", c.seq), url: base}
+	c.mu.Unlock()
+
+	if ok := c.probe(ctx, w); !ok {
+		return w.status(), fmt.Errorf("fleet: worker %s failed its health probe: %s", base, w.status().Error)
+	}
+	c.mu.Lock()
+	// Re-check: a concurrent Register for the same URL may have won.
+	for _, existing := range c.workers {
+		if existing.url == base {
+			c.mu.Unlock()
+			return existing.status(), ErrDuplicateWorker
+		}
+	}
+	c.workers = append(c.workers, w)
+	c.mu.Unlock()
+	return w.status(), nil
+}
+
+// Workers re-probes every registered worker — concurrently, so a
+// registry full of unreachable workers costs one HealthTimeout, not
+// one per worker — and returns their statuses, sorted by worker ID
+// (registration order).
+func (c *Coordinator) Workers(ctx context.Context) []WorkerStatus {
+	ws := c.snapshot()
+	c.probeAll(ctx, ws)
+	out := make([]WorkerStatus, len(ws))
+	for i, w := range ws {
+		out[i] = w.status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// probeAll probes the given workers concurrently.
+func (c *Coordinator) probeAll(ctx context.Context, ws []*worker) {
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			c.probe(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Counts returns (registered, healthy-as-of-last-probe) worker counts
+// without probing — the cheap form behind the coordinator's healthz
+// counters.
+func (c *Coordinator) Counts() (workers, healthy int) {
+	for _, w := range c.snapshot() {
+		workers++
+		if w.isHealthy() {
+			healthy++
+		}
+	}
+	return workers, healthy
+}
+
+func (c *Coordinator) snapshot() []*worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*worker(nil), c.workers...)
+}
+
+// probe hits the worker's /healthz once, records the result, and
+// reports health. The probe detaches from the caller's cancellation
+// (keeping only its own HealthTimeout): recorded health must reflect
+// the worker, never the patience of whichever client happened to
+// trigger the probe — a scraper disconnecting from GET
+// /v1/fleet/workers must not poison the registry. A target whose
+// healthz identifies it as a coordinator is rejected: fleets do not
+// nest, and dispatching a shard to another coordinator would recurse.
+func (c *Coordinator) probe(ctx context.Context, w *worker) bool {
+	pctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), c.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		w.setHealth(false, err.Error())
+		return false
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		w.setHealth(false, err.Error())
+		return false
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.setHealth(false, fmt.Sprintf("healthz returned %d", resp.StatusCode))
+		return false
+	}
+	var health struct {
+		Status string `json:"status"`
+		Stats  struct {
+			Coordinator bool `json:"coordinator"`
+		} `json:"stats"`
+	}
+	// Any 200 is not enough: the body must be an adnet-server healthz,
+	// or shard dispatches to some unrelated service would fail only
+	// mid-sweep instead of at registration.
+	if json.Unmarshal(body, &health) != nil || health.Status != "ok" {
+		w.setHealth(false, "healthz response is not an adnet-server worker")
+		return false
+	}
+	if health.Stats.Coordinator {
+		w.setHealth(false, "target is a coordinator, not a worker (fleets do not nest)")
+		return false
+	}
+	w.setHealth(true, "")
+	return true
+}
+
+// healthyWorkers probes the registry (concurrently) and returns the
+// workers that answered.
+func (c *Coordinator) healthyWorkers(ctx context.Context) []*worker {
+	ws := c.snapshot()
+	c.probeAll(ctx, ws)
+	var out []*worker
+	for _, w := range ws {
+		if w.isHealthy() {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,508 @@
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adnet/internal/expt"
+	"adnet/internal/fleet"
+	"adnet/internal/service"
+)
+
+// startWorker runs a real service manager + HTTP handler — an
+// in-process adnet-server — and returns its base URL.
+func startWorker(t *testing.T) string {
+	t.Helper()
+	mgr := service.NewManager(service.Config{
+		Workers: 1, SweepWorkers: 1, MaxConcurrentSweeps: 4,
+	})
+	srv := httptest.NewServer(service.NewHandler(mgr))
+	t.Cleanup(func() {
+		srv.Close()
+		mgr.Close()
+	})
+	return srv.URL
+}
+
+func testConfig() fleet.Config {
+	return fleet.Config{
+		HealthTimeout: 2 * time.Second,
+		ShardAttempts: 3,
+		StreamResumes: 1,
+		RetryBackoff:  time.Millisecond,
+	}
+}
+
+func register(t *testing.T, c *fleet.Coordinator, url string) {
+	t.Helper()
+	if _, err := c.Register(context.Background(), url); err != nil {
+		t.Fatalf("register %s: %v", url, err)
+	}
+}
+
+var testSpec = expt.SweepSpec{
+	Algorithms: []string{"graph-to-star", "flood"},
+	Workloads:  []string{"line"},
+	Sizes:      []int{8, 12},
+	Seeds:      []int64{1, 2, 3},
+}
+
+// singleProcessAggregate is the reference the distributed fold-merge
+// must match byte-for-byte.
+func singleProcessAggregate(t *testing.T, spec expt.SweepSpec) []byte {
+	t.Helper()
+	groups, err := expt.AggregateSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// checkMergedCells asserts the merged stream kept the wire contract:
+// one cell per grid position, in canonical order, with global indices.
+func checkMergedCells(t *testing.T, spec expt.SweepSpec, got []fleet.Cell) {
+	t.Helper()
+	cells := spec.Cells()
+	if len(got) != len(cells) {
+		t.Fatalf("merged %d cells, grid has %d", len(got), len(cells))
+	}
+	for i, g := range got {
+		want := cells[i]
+		if g.Index != i || g.Algorithm != want.Algorithm || g.Workload != want.Workload ||
+			g.N != want.N || g.Seed != want.Seed {
+			t.Fatalf("merged cell %d = %+v, want grid cell %+v", i, g, want)
+		}
+	}
+}
+
+// TestRegisterAndHealth covers the registry: URL validation, probe
+// gating, duplicate handling and status reporting.
+func TestRegisterAndHealth(t *testing.T) {
+	t.Parallel()
+	c := fleet.New(testConfig())
+	if _, err := c.Register(context.Background(), "not-a-url"); err == nil {
+		t.Fatal("relative URL accepted")
+	}
+	if _, err := c.Register(context.Background(), "http://127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable worker registered")
+	}
+	if w, h := c.Counts(); w != 0 || h != 0 {
+		t.Fatalf("counts after failed registrations = %d/%d", w, h)
+	}
+
+	url := startWorker(t)
+	st, err := c.Register(context.Background(), url+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Healthy || st.URL != url || !strings.HasPrefix(st.ID, "worker-") {
+		t.Fatalf("status = %+v", st)
+	}
+	if _, err := c.Register(context.Background(), url); !errors.Is(err, fleet.ErrDuplicateWorker) {
+		t.Fatalf("duplicate registration: %v", err)
+	}
+	ws := c.Workers(context.Background())
+	if len(ws) != 1 || !ws[0].Healthy {
+		t.Fatalf("workers = %+v", ws)
+	}
+	if w, h := c.Counts(); w != 1 || h != 1 {
+		t.Fatalf("counts = %d/%d", w, h)
+	}
+
+	// Fleets do not nest: a coordinator-mode server is not a worker.
+	coordMgr := service.NewManager(service.Config{Workers: 1, Fleet: fleet.New(fleet.Config{})})
+	coordSrv := httptest.NewServer(service.NewHandler(coordMgr))
+	t.Cleanup(func() {
+		coordSrv.Close()
+		coordMgr.Close()
+	})
+	if _, err := c.Register(context.Background(), coordSrv.URL); err == nil ||
+		!strings.Contains(err.Error(), "coordinator") {
+		t.Fatalf("registering a coordinator as a worker: %v, want nesting rejection", err)
+	}
+}
+
+// TestRunGridMergesAcrossWorkers is the happy-path acceptance test: a
+// two-worker fleet executes the grid, the merged stream is canonical
+// and complete, and the fold-merged aggregate is byte-identical to a
+// single-process run of the same grid.
+func TestRunGridMergesAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	c := fleet.New(testConfig())
+	register(t, c, startWorker(t))
+	register(t, c, startWorker(t))
+
+	var merged []fleet.Cell
+	sum, groups, err := c.RunGrid(context.Background(), testSpec, func(cell fleet.Cell) {
+		merged = append(merged, cell)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMergedCells(t, testSpec, merged)
+	for i, cell := range merged {
+		if cell.Error != "" || cell.Outcome == nil {
+			t.Fatalf("cell %d: error=%q outcome=%v", i, cell.Error, cell.Outcome)
+		}
+	}
+	cells := testSpec.NumCells()
+	if sum.Cells != cells || sum.Executed != cells || sum.Errors != 0 || sum.Shards != 4 || sum.Redispatches != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	out, err := json.Marshal(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := singleProcessAggregate(t, testSpec); !bytes.Equal(out, want) {
+		t.Fatalf("fold-merged aggregate diverged from single-process:\n%s\nvs\n%s", out, want)
+	}
+}
+
+// flakyFront fronts a real worker handler: it lets one cell line
+// through on the first stream, then cuts the stream and plays dead —
+// every later request, health probes included, fails. It models a
+// worker process dying mid-shard.
+type flakyFront struct {
+	real http.Handler
+
+	mu    sync.Mutex
+	lines int
+	dead  bool
+}
+
+func (f *flakyFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	dead := f.dead
+	f.mu.Unlock()
+	if dead {
+		http.Error(w, "worker died", http.StatusInternalServerError)
+		return
+	}
+	if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/cells") {
+		f.real.ServeHTTP(&cuttingWriter{ResponseWriter: w, front: f}, r)
+		return
+	}
+	f.real.ServeHTTP(w, r)
+}
+
+// cuttingWriter forwards one line, then reports the worker dead and
+// fails every subsequent write.
+type cuttingWriter struct {
+	http.ResponseWriter
+	front *flakyFront
+}
+
+func (cw *cuttingWriter) Write(p []byte) (int, error) {
+	cw.front.mu.Lock()
+	if cw.front.lines >= 1 {
+		cw.front.dead = true
+		cw.front.mu.Unlock()
+		return 0, errors.New("connection cut")
+	}
+	cw.front.lines++
+	cw.front.mu.Unlock()
+	n, err := cw.ResponseWriter.Write(p)
+	if f, ok := cw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	return n, err
+}
+
+func (cw *cuttingWriter) Flush() {
+	if f, ok := cw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestRunGridRedispatchesShardWhenWorkerDies kills one worker after it
+// streamed a single cell: the coordinator must mark it unhealthy,
+// re-dispatch the shard to the surviving worker, skip the
+// already-merged cell on the replayed stream, and still complete the
+// full grid with a byte-identical aggregate.
+func TestRunGridRedispatchesShardWhenWorkerDies(t *testing.T) {
+	t.Parallel()
+	mgr := service.NewManager(service.Config{Workers: 1, SweepWorkers: 1, MaxConcurrentSweeps: 4})
+	front := &flakyFront{real: service.NewHandler(mgr)}
+	flaky := httptest.NewServer(front)
+	t.Cleanup(func() {
+		flaky.Close()
+		mgr.Close()
+	})
+
+	c := fleet.New(testConfig())
+	register(t, c, flaky.URL)
+	register(t, c, startWorker(t))
+
+	var merged []fleet.Cell
+	sum, groups, err := c.RunGrid(context.Background(), testSpec, func(cell fleet.Cell) {
+		merged = append(merged, cell)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMergedCells(t, testSpec, merged)
+	for i, cell := range merged {
+		if cell.Error != "" {
+			t.Fatalf("cell %d carries error %q", i, cell.Error)
+		}
+	}
+	if sum.Redispatches == 0 {
+		t.Fatal("worker death did not re-dispatch any shard")
+	}
+
+	out, err := json.Marshal(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := singleProcessAggregate(t, testSpec); !bytes.Equal(out, want) {
+		t.Fatalf("aggregate after re-dispatch diverged:\n%s\nvs\n%s", out, want)
+	}
+
+	// The dead worker is out of rotation and reported unhealthy.
+	for _, w := range c.Workers(context.Background()) {
+		if w.URL == flaky.URL && w.Healthy {
+			t.Fatalf("dead worker still healthy: %+v", w)
+		}
+	}
+}
+
+// busyFront fronts a real worker and rejects the first `rejects`
+// sweep submissions with the service's fail-fast 503, as a worker
+// saturated by its own client sweeps would.
+type busyFront struct {
+	real http.Handler
+
+	mu      sync.Mutex
+	rejects int
+}
+
+func (b *busyFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/v1/sweeps") {
+		b.mu.Lock()
+		reject := b.rejects > 0
+		if reject {
+			b.rejects--
+		}
+		b.mu.Unlock()
+		if reject {
+			http.Error(w, `{"error":"service: too many concurrent sweeps"}`, http.StatusServiceUnavailable)
+			return
+		}
+	}
+	b.real.ServeHTTP(w, r)
+}
+
+// sabotagingFront fronts a real worker and replaces the first cell
+// stream with the one-line-per-cell canceled shape — error-marked
+// cells trailed by a done:false summary — exactly what a worker-side
+// time limit or a third-party DELETE produces. Everything else passes
+// through to the real worker.
+type sabotagingFront struct {
+	real http.Handler
+
+	mu        sync.Mutex
+	sabotages int
+	lastSpec  struct {
+		Algorithms []string `json:"algorithms"`
+		Workloads  []string `json:"workloads"`
+		Sizes      []int    `json:"sizes"`
+		Seeds      []int64  `json:"seeds"`
+	}
+}
+
+func (s *sabotagingFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/v1/sweeps") {
+		body, _ := io.ReadAll(r.Body)
+		s.mu.Lock()
+		json.Unmarshal(body, &s.lastSpec)
+		s.mu.Unlock()
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		s.real.ServeHTTP(w, r)
+		return
+	}
+	if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/cells") {
+		s.mu.Lock()
+		sabotage := s.sabotages > 0
+		if sabotage {
+			s.sabotages--
+		}
+		spec := s.lastSpec
+		s.mu.Unlock()
+		if sabotage {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			enc := json.NewEncoder(w)
+			idx := 0
+			for _, a := range spec.Algorithms {
+				for _, wl := range spec.Workloads {
+					for _, n := range spec.Sizes {
+						for _, seed := range spec.Seeds {
+							enc.Encode(map[string]any{
+								"index": idx, "algorithm": a, "workload": wl, "n": n,
+								"seed": seed, "from_cache": false,
+								"error": "expt: cell skipped: sim: canceled",
+							})
+							idx++
+						}
+					}
+				}
+			}
+			enc.Encode(map[string]any{
+				"done": false, "cells": idx, "cache_hits": 0, "executed": 0, "errors": idx,
+			})
+			return
+		}
+	}
+	s.real.ServeHTTP(w, r)
+}
+
+// TestRunGridRejectsIncompleteWorkerSweep: a worker sweep that ends
+// canceled/failed streams error-marked cells and a done:false summary;
+// the coordinator must treat that as a failed dispatch and re-run the
+// shard — never merge the error cells as results.
+func TestRunGridRejectsIncompleteWorkerSweep(t *testing.T) {
+	t.Parallel()
+	mgr := service.NewManager(service.Config{Workers: 1, SweepWorkers: 1, MaxConcurrentSweeps: 4})
+	front := &sabotagingFront{real: service.NewHandler(mgr), sabotages: 1}
+	srv := httptest.NewServer(front)
+	t.Cleanup(func() {
+		srv.Close()
+		mgr.Close()
+	})
+
+	c := fleet.New(testConfig())
+	register(t, c, srv.URL)
+
+	var merged []fleet.Cell
+	_, groups, err := c.RunGrid(context.Background(), testSpec, func(cell fleet.Cell) {
+		merged = append(merged, cell)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMergedCells(t, testSpec, merged)
+	for i, cell := range merged {
+		if cell.Error != "" || cell.Outcome == nil {
+			t.Fatalf("cell %d from the sabotaged sweep leaked into the merge: %+v", i, cell)
+		}
+	}
+	out, errj := json.Marshal(groups)
+	if errj != nil {
+		t.Fatal(errj)
+	}
+	if want := singleProcessAggregate(t, testSpec); !bytes.Equal(out, want) {
+		t.Fatalf("aggregate diverged after sabotaged dispatch:\n%s\nvs\n%s", out, want)
+	}
+}
+
+// TestRunGridWaitsOutBusyWorker: a worker whose sweep gate rejects the
+// first dispatches (503) is saturated, not broken — the coordinator
+// must retry with backoff, keep the worker healthy, and complete the
+// sweep without re-dispatch.
+func TestRunGridWaitsOutBusyWorker(t *testing.T) {
+	t.Parallel()
+	mgr := service.NewManager(service.Config{Workers: 1, SweepWorkers: 1, MaxConcurrentSweeps: 4})
+	front := &busyFront{real: service.NewHandler(mgr), rejects: 2}
+	busy := httptest.NewServer(front)
+	t.Cleanup(func() {
+		busy.Close()
+		mgr.Close()
+	})
+
+	c := fleet.New(testConfig())
+	register(t, c, busy.URL)
+
+	var merged []fleet.Cell
+	sum, groups, err := c.RunGrid(context.Background(), testSpec, func(cell fleet.Cell) {
+		merged = append(merged, cell)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMergedCells(t, testSpec, merged)
+	if sum.Redispatches != 0 {
+		t.Fatalf("busy worker counted as %d re-dispatches", sum.Redispatches)
+	}
+	if groups == nil {
+		t.Fatal("no merged aggregate")
+	}
+	ws := c.Workers(context.Background())
+	if len(ws) != 1 || !ws[0].Healthy {
+		t.Fatalf("busy worker lost its health: %+v", ws)
+	}
+}
+
+// TestRunGridNoWorkersKeepsWireContract: with nothing registered the
+// sweep fails fast but still emits one skip-marked line per cell.
+func TestRunGridNoWorkersKeepsWireContract(t *testing.T) {
+	t.Parallel()
+	c := fleet.New(testConfig())
+	var merged []fleet.Cell
+	sum, groups, err := c.RunGrid(context.Background(), testSpec, func(cell fleet.Cell) {
+		merged = append(merged, cell)
+	})
+	if !errors.Is(err, fleet.ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+	if groups != nil {
+		t.Fatalf("groups = %v on a failed sweep", groups)
+	}
+	checkMergedCells(t, testSpec, merged)
+	for i, cell := range merged {
+		if !strings.Contains(cell.Error, "skipped") {
+			t.Fatalf("cell %d not skip-marked: %+v", i, cell)
+		}
+	}
+	if sum.Errors != testSpec.NumCells() {
+		t.Fatalf("summary errors = %d, want %d", sum.Errors, testSpec.NumCells())
+	}
+}
+
+// TestRunGridCancelMidSweep cancels from the emit callback after the
+// first merged cell: the sweep must unwind promptly, report
+// cancellation, and still emit the full per-cell wire shape.
+func TestRunGridCancelMidSweep(t *testing.T) {
+	t.Parallel()
+	c := fleet.New(testConfig())
+	register(t, c, startWorker(t))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var merged []fleet.Cell
+	_, groups, err := c.RunGrid(ctx, testSpec, func(cell fleet.Cell) {
+		merged = append(merged, cell)
+		cancel()
+	})
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if groups != nil {
+		t.Fatal("canceled sweep produced merged groups")
+	}
+	checkMergedCells(t, testSpec, merged)
+	if merged[0].Error != "" || merged[0].Outcome == nil {
+		t.Fatalf("first cell should have merged before the cancel: %+v", merged[0])
+	}
+	skipped := 0
+	for _, cell := range merged {
+		if strings.Contains(cell.Error, "skipped") {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no cells skip-marked after cancel")
+	}
+}

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"adnet/internal/expt"
+	"adnet/internal/runkey"
+)
+
+// Shard is one dispatchable slice of a sweep grid: a whole
+// (algorithm, workload, n) row with every seed, i.e. exactly one
+// aggregation group. Group alignment is what makes the distributed
+// aggregate exact: each worker aggregates complete groups, so the
+// coordinator's fold-merge (expt.MergeAggregates) is byte-identical to
+// a single-process aggregate of the grid. Parallelism therefore comes
+// from the grid's group dimensions — which the paper's tables make
+// wide — not from splitting seed lists.
+type Shard struct {
+	// Index is the shard's position in canonical grid order.
+	Index int
+	// Key is the shard's stable identity (runkey.ShardKey): it names
+	// the same cells no matter which worker executes it or how often
+	// it is re-dispatched.
+	Key string
+	// Offset is the global canonical index of the shard's first cell.
+	Offset int
+	// Spec is the shard's sub-grid. Its canonical cell order equals
+	// the global order of the parent grid restricted to this shard, so
+	// global index = Offset + local index.
+	Spec expt.SweepSpec
+}
+
+// NumCells returns the shard's cell count.
+func (s Shard) NumCells() int { return s.Spec.NumCells() }
+
+// PlanShards partitions the grid's canonical cell sequence into
+// contiguous, group-aligned shards: one per (algorithm, workload, n)
+// row, in runkey order. The plan is a pure function of the spec —
+// every coordinator (and every retry) produces the same shards with
+// the same keys.
+func PlanShards(spec expt.SweepSpec) []Shard {
+	cells := spec.Cells()
+	sweepKey := runkey.SweepKey(spec.Algorithms, spec.Workloads, spec.Sizes, spec.Seeds, spec.MaxRounds)
+	var shards []Shard
+	for start := 0; start < len(cells); {
+		c := cells[start]
+		end := start
+		seeds := make([]int64, 0, 8)
+		for end < len(cells) {
+			n := cells[end]
+			if n.Algorithm != c.Algorithm || n.Workload != c.Workload || n.N != c.N {
+				break
+			}
+			seeds = append(seeds, n.Seed)
+			end++
+		}
+		shards = append(shards, Shard{
+			Index:  len(shards),
+			Key:    runkey.ShardKey(sweepKey, len(shards), start, end-start),
+			Offset: start,
+			Spec: expt.SweepSpec{
+				Algorithms: []string{c.Algorithm},
+				Workloads:  []string{c.Workload},
+				Sizes:      []int{c.N},
+				Seeds:      seeds,
+				MaxRounds:  spec.MaxRounds,
+			},
+		})
+		start = end
+	}
+	return shards
+}

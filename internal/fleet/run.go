@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adnet/internal/expt"
+	"adnet/internal/sim"
+)
+
+// Summary totals a distributed sweep. CacheHits and Errors are counted
+// over the merged cell stream (synthesized skip-cells included);
+// Executed sums the completing workers' own summaries, so it keeps the
+// worker-side "a simulation actually ran" semantics.
+type Summary struct {
+	Cells        int
+	CacheHits    int
+	Executed     int
+	Errors       int
+	Shards       int
+	Redispatches int
+}
+
+// RunGrid executes the grid across the registry's healthy workers and
+// emits every cell — Index rewritten to the global canonical position —
+// in canonical grid order from the calling goroutine. On success the
+// returned groups are the fold-merge of the per-shard aggregates,
+// byte-identical to a single-process aggregate of the same grid.
+//
+// On failure (cancellation, or a shard out of dispatch attempts with
+// no healthy worker left) RunGrid still emits one line per cell: the
+// cells that merged before the failure, then error-marked skip cells
+// for the rest — the same wire contract a single-process sweep keeps
+// under cancellation — and returns the failure alongside nil groups.
+func (c *Coordinator) RunGrid(ctx context.Context, spec expt.SweepSpec, emit func(Cell)) (Summary, []expt.AggregateGroup, error) {
+	if err := spec.Validate(); err != nil {
+		return Summary{}, nil, err
+	}
+	shards := PlanShards(spec)
+	cells := spec.Cells()
+	sum := Summary{Cells: len(cells), Shards: len(shards)}
+
+	workers := c.healthyWorkers(ctx)
+	progress, runErr := c.dispatchAll(ctx, shards, workers, &sum, cells, emit)
+	// Shards that completed before a failure still did their work:
+	// keep their Executed counts in the summary, like the incremental
+	// single-process summary would.
+	for i := range progress {
+		if s := progress[i].summary; s != nil {
+			sum.Executed += s.Executed
+		}
+	}
+	if runErr != nil {
+		return sum, nil, runErr
+	}
+
+	shardGroups := make([][]expt.AggregateGroup, len(shards))
+	for i := range progress {
+		shardGroups[i] = progress[i].groups
+	}
+	groups, err := expt.MergeAggregates(shardGroups...)
+	if err != nil {
+		return sum, nil, err
+	}
+	return sum, groups, nil
+}
+
+// dispatchAll runs the shard queue to completion and merges
+// deliveries. It owns the merge/emit loop; dispatcher goroutines own
+// shard execution.
+func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers []*worker,
+	sum *Summary, cells []expt.Cell, emit func(Cell)) ([]shardProgress, error) {
+	progress := make([]shardProgress, len(shards))
+
+	emitCount := func(cell Cell) {
+		if cell.Error != "" {
+			sum.Errors++
+		} else if cell.FromCache {
+			sum.CacheHits++
+		}
+		if emit != nil {
+			emit(cell)
+		}
+	}
+
+	fail := func(next int, buffered map[int]Cell, cause error) ([]shardProgress, error) {
+		// Keep the wire contract: one line per cell. Merged and
+		// buffered cells stand; the gaps become skip cells.
+		skip := fmt.Sprintf("fleet: cell skipped: %v", cause)
+		for ; next < len(cells); next++ {
+			if cell, ok := buffered[next]; ok {
+				emitCount(cell)
+				continue
+			}
+			cc := cells[next]
+			emitCount(Cell{
+				Index: next, Algorithm: cc.Algorithm, Workload: cc.Workload,
+				N: cc.N, Seed: cc.Seed, MaxRounds: cc.MaxRounds, Error: skip,
+			})
+		}
+		return progress, cause
+	}
+
+	if len(workers) == 0 {
+		return fail(0, nil, ErrNoWorkers)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// queue holds shard indices; capacity len(shards) means a requeue
+	// never blocks (a shard is in at most one place: queued, running,
+	// or done). The queue is closed exactly once, by the dispatcher
+	// that finishes the last shard — a requeue implies an unfinished
+	// shard, so no send can race the close. Fatal shutdown goes
+	// through runCtx cancellation instead of a close: idle dispatchers
+	// wake on Done, and a closed-channel send is impossible.
+	queue := make(chan int, len(shards))
+	for i := range shards {
+		queue <- i
+	}
+	var closeOnce sync.Once
+	closeQueue := func() { closeOnce.Do(func() { close(queue) }) }
+
+	deliveries := make(chan Cell, 64)
+
+	var (
+		done         atomic.Int32
+		fatalMu      sync.Mutex
+		fatalErr     error
+		redispatches atomic.Int32
+		wg           sync.WaitGroup
+	)
+	setFatal := func(err error) {
+		fatalMu.Lock()
+		if fatalErr == nil {
+			fatalErr = err
+		}
+		fatalMu.Unlock()
+		cancel()
+	}
+
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for {
+				var idx int
+				var ok bool
+				select {
+				case <-runCtx.Done():
+					return
+				case idx, ok = <-queue:
+					if !ok {
+						return
+					}
+				}
+				sp := &progress[idx]
+				err := c.runShard(runCtx, w, shards[idx], sp, func(cell Cell) {
+					select {
+					case deliveries <- cell:
+					case <-runCtx.Done():
+					}
+				})
+				if err == nil {
+					w.noteShardDone()
+					if int(done.Add(1)) == len(shards) {
+						closeQueue()
+					}
+					continue
+				}
+				if runCtx.Err() != nil {
+					return
+				}
+				if errors.Is(err, errWorkerBusy) {
+					// Saturated gate, not a broken worker: wait it out
+					// rather than burn a dispatch attempt — worker
+					// sweeps legally hold the gate for minutes, and the
+					// coordinator sweep's own time limit (via ctx)
+					// bounds how long this loop may pace.
+					select {
+					case <-time.After(c.cfg.RetryBackoff):
+					case <-runCtx.Done():
+						return
+					}
+					queue <- idx
+					continue
+				}
+				if errors.Is(err, errDispatchRejected) {
+					// Deterministic 4xx: every worker would refuse the
+					// same spec (config skew between coordinator and
+					// worker limits). Fail the sweep now; the worker is
+					// fine.
+					setFatal(fmt.Errorf("fleet: shard %d (%s): %w", idx, shards[idx].Key, err))
+					return
+				}
+				sp.attempts++
+				if sp.attempts >= c.cfg.ShardAttempts {
+					setFatal(fmt.Errorf("fleet: shard %d (%s) failed after %d dispatch attempts: %w",
+						idx, shards[idx].Key, sp.attempts, err))
+					return
+				}
+				if errors.Is(err, errSweepIncomplete) {
+					// The worker proved itself alive by streaming the
+					// full canceled shape — a worker-side sweep time
+					// limit or third-party cancellation — so it keeps
+					// its health and this dispatcher stays in rotation;
+					// each cycle cost real worker time, so it does
+					// consume a dispatch attempt.
+					queue <- idx
+					continue
+				}
+				// The worker broke mid-shard: take it out of rotation
+				// and hand the shard to whoever is still alive. If this
+				// was the last live dispatcher, the requeued index sits
+				// in the buffered queue and RunGrid reports ErrNoWorkers
+				// once every dispatcher has drained out.
+				w.setHealth(false, err.Error())
+				redispatches.Add(1)
+				queue <- idx
+				return
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(deliveries)
+	}()
+
+	// Merge: deliveries arrive shard-ordered per shard but interleaved
+	// across shards; re-emit in global canonical order.
+	next := 0
+	buffered := make(map[int]Cell)
+	for d := range deliveries {
+		buffered[d.Index] = d
+		for {
+			cell, ok := buffered[next]
+			if !ok {
+				break
+			}
+			delete(buffered, next)
+			emitCount(cell)
+			next++
+		}
+	}
+	sum.Redispatches = int(redispatches.Load())
+
+	fatalMu.Lock()
+	cause := fatalErr
+	fatalMu.Unlock()
+	switch {
+	case ctx.Err() != nil:
+		return fail(next, buffered, fmt.Errorf("fleet: sweep: %w", sim.ErrCanceled))
+	case cause != nil:
+		return fail(next, buffered, cause)
+	case int(done.Load()) != len(shards):
+		return fail(next, buffered, ErrNoWorkers)
+	}
+	return progress, nil
+}

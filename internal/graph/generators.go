@@ -8,8 +8,14 @@ import (
 // Line returns a spanning line u_0 - u_1 - ... - u_{n-1} with IDs 0..n-1.
 // The spanning line is the paper's canonical worst case: diameter n-1
 // and Θ(n) distance between the extreme UIDs.
-func Line(n int) *Graph {
-	g := New()
+func Line(n int) *Graph { return LineInto(New(), n) }
+
+// LineInto builds Line(n) into g, resetting it first. The *Into
+// generator variants reuse g's backing arrays (see Graph.Reset), so a
+// caller generating many workloads — the sweep fleet's per-worker
+// Runner — pays for graph construction only on growth.
+func LineInto(g *Graph, n int) *Graph {
+	g.Reset()
 	for i := 0; i < n; i++ {
 		g.AddNode(ID(i))
 	}
@@ -21,8 +27,11 @@ func Line(n int) *Graph {
 
 // Ring returns a cycle on IDs 0..n-1 (n >= 3); for n < 3 it degenerates
 // to a line.
-func Ring(n int) *Graph {
-	g := Line(n)
+func Ring(n int) *Graph { return RingInto(New(), n) }
+
+// RingInto builds Ring(n) into g, resetting it first.
+func RingInto(g *Graph, n int) *Graph {
+	g = LineInto(g, n)
 	if n >= 3 {
 		g.MustAddEdge(ID(n-1), ID(0))
 	}
@@ -35,9 +44,15 @@ func Ring(n int) *Graph {
 // Ω(n log n) total edge activations on it).
 func IncreasingRing(n int) *Graph { return Ring(n) }
 
+// IncreasingRingInto builds IncreasingRing(n) into g, resetting it first.
+func IncreasingRingInto(g *Graph, n int) *Graph { return RingInto(g, n) }
+
 // Star returns a star with center 0 and leaves 1..n-1.
-func Star(n int) *Graph {
-	g := New()
+func Star(n int) *Graph { return StarInto(New(), n) }
+
+// StarInto builds Star(n) into g, resetting it first.
+func StarInto(g *Graph, n int) *Graph {
+	g.Reset()
 	g.AddNode(0)
 	for i := 1; i < n; i++ {
 		g.MustAddEdge(0, ID(i))
@@ -125,8 +140,13 @@ func Lollipop(k, p int) *Graph {
 
 // RandomTree returns a uniformly random labelled tree on IDs 0..n-1,
 // generated from a random Prüfer sequence.
-func RandomTree(n int, rng *rand.Rand) *Graph {
-	g := New()
+func RandomTree(n int, rng *rand.Rand) *Graph { return RandomTreeInto(New(), n, rng) }
+
+// RandomTreeInto builds RandomTree(n, rng) into g, resetting it first.
+// It draws exactly the same random sequence as RandomTree, so the two
+// produce identical trees for equal rng states.
+func RandomTreeInto(g *Graph, n int, rng *rand.Rand) *Graph {
+	g.Reset()
 	for i := 0; i < n; i++ {
 		g.AddNode(ID(i))
 	}
@@ -177,7 +197,13 @@ func RandomTree(n int, rng *rand.Rand) *Graph {
 // number of available non-edges; insertion stops when the graph is
 // complete.
 func RandomConnected(n, extra int, rng *rand.Rand) *Graph {
-	g := RandomTree(n, rng)
+	return RandomConnectedInto(New(), n, extra, rng)
+}
+
+// RandomConnectedInto builds RandomConnected(n, extra, rng) into g,
+// resetting it first, with the same random sequence as RandomConnected.
+func RandomConnectedInto(g *Graph, n, extra int, rng *rand.Rand) *Graph {
+	g = RandomTreeInto(g, n, rng)
 	maxEdges := n * (n - 1) / 2
 	for added := 0; added < extra && g.NumEdges() < maxEdges; {
 		u := ID(rng.Intn(n))
@@ -196,11 +222,18 @@ func RandomConnected(n, extra int, rng *rand.Rand) *Graph {
 // random chords that respect the bound. It is the workload family for
 // GraphToWreath, which preserves bounded degree.
 func RandomBoundedDegree(n, maxDeg, extra int, rng *rand.Rand) (*Graph, error) {
+	return RandomBoundedDegreeInto(New(), n, maxDeg, extra, rng)
+}
+
+// RandomBoundedDegreeInto builds RandomBoundedDegree(n, maxDeg, extra,
+// rng) into g, resetting it first, with the same random sequence as
+// RandomBoundedDegree.
+func RandomBoundedDegreeInto(g *Graph, n, maxDeg, extra int, rng *rand.Rand) (*Graph, error) {
 	if maxDeg < 2 {
 		return nil, fmt.Errorf("graph: maxDeg %d < 2 cannot stay connected beyond n=2", maxDeg)
 	}
 	perm := rng.Perm(n)
-	g := New()
+	g.Reset()
 	for i := 0; i < n; i++ {
 		g.AddNode(ID(i))
 	}
@@ -224,18 +257,31 @@ func RandomBoundedDegree(n, maxDeg, extra int, rng *rand.Rand) (*Graph, error) {
 // preserved while UID placement — which comparison-based algorithms are
 // sensitive to — is randomized.
 func PermuteIDs(g *Graph, rng *rand.Rand) *Graph {
-	nodes := g.Nodes()
+	return PermuteIDsInto(New(), g, rng)
+}
+
+// PermuteIDsInto builds PermuteIDs(src, rng) into dst, resetting it
+// first, with the same random sequence as PermuteIDs. dst must not be
+// src.
+func PermuteIDsInto(dst, src *Graph, rng *rand.Rand) *Graph {
+	nodes := src.Nodes()
 	perm := rng.Perm(len(nodes))
 	mapping := make(map[ID]ID, len(nodes))
 	for i, u := range nodes {
 		mapping[u] = nodes[perm[i]]
 	}
-	out := New()
+	dst.Reset()
 	for _, u := range nodes {
-		out.AddNode(mapping[u])
+		dst.AddNode(mapping[u])
 	}
-	for _, e := range g.Edges() {
-		out.MustAddEdge(mapping[e.A], mapping[e.B])
+	for _, u := range nodes {
+		mu := mapping[u]
+		src.EachNeighbor(u, func(v ID) bool {
+			if u < v {
+				dst.MustAddEdge(mu, mapping[v])
+			}
+			return true
+		})
 	}
-	return out
+	return dst
 }

@@ -78,10 +78,31 @@ func (g *Graph) AddNode(u ID) {
 	}
 	g.index[u] = len(g.ids)
 	g.ids = append(g.ids, u)
-	g.adj = append(g.adj, nil)
+	if n := len(g.adj); n < cap(g.adj) {
+		// Reclaim the adjacency array this slot held before Reset.
+		g.adj = g.adj[:n+1]
+		g.adj[n] = g.adj[n][:0]
+	} else {
+		g.adj = append(g.adj, nil)
+	}
 	if u > g.maxID {
 		g.maxID = u
 	}
+}
+
+// Reset clears g to the empty graph while retaining allocated
+// capacity: the slot index, the ID table and every per-slot adjacency
+// list keep their backing arrays, so the next build into the same
+// receiver allocates only on growth. Together with the *Into generator
+// variants this makes repeated workload generation allocation-light in
+// steady state. Like any mutation, Reset invalidates NeighborsView
+// results.
+func (g *Graph) Reset() {
+	clear(g.index)
+	g.ids = g.ids[:0]
+	g.adj = g.adj[:0]
+	g.edges = 0
+	g.maxID = -1
 }
 
 // HasNode reports whether u is a node of g.

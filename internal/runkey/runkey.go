@@ -27,6 +27,15 @@ func ShortHash(key string) string {
 	return hex.EncodeToString(sum[:4])
 }
 
+// ShardKey renders the canonical key of one planned shard of a sweep
+// grid: the parent sweep key plus the shard's index and cell range in
+// canonical cell order. The fleet coordinator names shards by hashes
+// of this key, so a shard keeps its identity across re-dispatches to
+// different workers. Like Key, the format is stable.
+func ShardKey(sweepKey string, index, offset, cells int) string {
+	return fmt.Sprintf("%s|shard=%d|off=%d|cells=%d", sweepKey, index, offset, cells)
+}
+
 // SweepKey renders the canonical key of a sweep grid: the dimension
 // lists in submission order plus the shared round-limit override. Two
 // sweeps with equal keys enumerate identical cells, cell for cell.

@@ -22,6 +22,26 @@ func TestKeyCanonicalAndInjectiveOnFields(t *testing.T) {
 	}
 }
 
+func TestShardKeyStableAndInjectiveOnFields(t *testing.T) {
+	t.Parallel()
+	sweep := SweepKey([]string{"flood"}, []string{"line"}, []int{16}, []int64{1, 2}, 0)
+	base := ShardKey(sweep, 0, 0, 2)
+	if base != sweep+"|shard=0|off=0|cells=2" {
+		t.Fatalf("shard key format changed: %q", base)
+	}
+	variants := []string{
+		ShardKey(sweep, 1, 0, 2),
+		ShardKey(sweep, 0, 2, 2),
+		ShardKey(sweep, 0, 0, 4),
+		ShardKey(SweepKey([]string{"flood"}, []string{"ring"}, []int{16}, []int64{1, 2}, 0), 0, 0, 2),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+}
+
 func TestShortHashStable(t *testing.T) {
 	t.Parallel()
 	h := ShortHash("x")

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"adnet/internal/expt"
+	"adnet/internal/fleet"
 )
 
 // NewHandler builds the HTTP surface over a Manager:
@@ -24,6 +25,13 @@ import (
 //	GET    /v1/algorithms            runnable algorithm names
 //	GET    /v1/workloads             initial-network family names
 //	GET    /healthz                  liveness + pool/cache counters
+//
+// In coordinator mode (Config.Fleet set) two more routes manage the
+// worker registry, and sweeps are executed by sharding the grid across
+// the registered workers rather than on the local engine fleet:
+//
+//	POST   /v1/fleet/workers         register a worker server {"url": ...}
+//	GET    /v1/fleet/workers         registry with per-worker health
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -149,8 +157,15 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		groups, err := job.Aggregate()
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrSweepRunning):
+			// A non-terminal sweep is a caller-resolvable conflict
+			// (retry once the job is terminal), not a server fault.
 			writeError(w, http.StatusConflict, err)
+			return
+		default:
+			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, sweepAggregateResponse{
@@ -159,6 +174,34 @@ func NewHandler(m *Manager) http.Handler {
 			Groups: groups,
 		})
 	})
+	if fl := m.Fleet(); fl != nil {
+		mux.HandleFunc("POST /v1/fleet/workers", func(w http.ResponseWriter, r *http.Request) {
+			var req workerRegistration
+			dec := json.NewDecoder(r.Body)
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&req); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			st, err := fl.Register(r.Context(), req.URL)
+			switch {
+			case err == nil:
+				writeJSON(w, http.StatusCreated, st)
+			case errors.Is(err, fleet.ErrDuplicateWorker):
+				// Idempotent re-registration: report the existing
+				// worker's freshly probed status.
+				writeJSON(w, http.StatusOK, st)
+			case errors.Is(err, fleet.ErrInvalidWorkerURL):
+				writeError(w, http.StatusBadRequest, err)
+			default:
+				// The worker exists but failed its health probe.
+				writeError(w, http.StatusBadGateway, err)
+			}
+		})
+		mux.HandleFunc("GET /v1/fleet/workers", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, fl.Workers(r.Context()))
+		})
+	}
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, expt.Algorithms())
 	})
@@ -211,6 +254,10 @@ type submitResponse struct {
 
 type sweepSubmitResponse struct {
 	Sweep SweepStatus `json:"sweep"`
+}
+
+type workerRegistration struct {
+	URL string `json:"url"`
 }
 
 type sweepAggregateResponse struct {

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adnet/internal/fleet"
+)
+
+// newCoordinator builds a coordinator-mode test server backed by
+// workerCount real worker servers (each a full manager + handler).
+func newCoordinator(t *testing.T, workerCount int) (*httptest.Server, *Manager) {
+	t.Helper()
+	coord := fleet.New(fleet.Config{RetryBackoff: time.Millisecond})
+	for i := 0; i < workerCount; i++ {
+		worker, _ := newTestServer(t, Config{Workers: 1, SweepWorkers: 1, MaxConcurrentSweeps: 4})
+		if _, err := coord.Register(t.Context(), worker.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return newTestServer(t, Config{Workers: 1, Fleet: coord})
+}
+
+// TestCoordinatorSweepMatchesSingleProcessByteForByte is the
+// acceptance criterion end to end through the service layer: a
+// coordinator with two workers serves a merged cell stream in
+// canonical order and an aggregate byte-identical to the same grid
+// run on one ordinary (single-process) server — while executing no
+// simulation of its own.
+func TestCoordinatorSweepMatchesSingleProcessByteForByte(t *testing.T) {
+	t.Parallel()
+	spec := SweepSpec{
+		Algorithms: []string{"graph-to-star", "flood"},
+		Workloads:  []string{"line"},
+		Sizes:      []int{16, 24},
+		Seeds:      []int64{1, 2, 3},
+	}
+
+	coordSrv, coordMgr := newCoordinator(t, 2)
+	job, code := postSweepJob(t, coordSrv, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST sweep to coordinator = %d", code)
+	}
+	awaitSweepState(t, coordSrv, job.ID, StateDone)
+
+	cells, sum := readCells(t, coordSrv, job.ID)
+	grid := spec.Expt().Cells()
+	if len(cells) != len(grid) {
+		t.Fatalf("merged stream has %d cells, grid %d", len(cells), len(grid))
+	}
+	for i, c := range cells {
+		want := grid[i]
+		if c.Index != i || c.Algorithm != want.Algorithm || c.N != want.N || c.Seed != want.Seed {
+			t.Fatalf("cell %d = %+v, want %+v", i, c, want)
+		}
+		if c.Error != "" || c.Outcome == nil {
+			t.Fatalf("cell %d failed: %q", i, c.Error)
+		}
+	}
+	if sum == nil || !sum.Done || sum.Cells != len(grid) || sum.Errors != 0 || sum.Executed != len(grid) {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	// Reference: the identical grid on a plain single-process server.
+	singleSrv, _ := newTestServer(t, Config{Workers: 1, SweepWorkers: 2})
+	ref, _ := postSweepJob(t, singleSrv, spec)
+	awaitSweepState(t, singleSrv, ref.ID, StateDone)
+
+	distAgg, code := getAggregate(t, coordSrv, job.ID)
+	if code != http.StatusOK {
+		t.Fatalf("coordinator aggregate = %d", code)
+	}
+	singleAgg, code := getAggregate(t, singleSrv, ref.ID)
+	if code != http.StatusOK {
+		t.Fatalf("single-process aggregate = %d", code)
+	}
+	distBytes, _ := json.Marshal(distAgg.Groups)
+	singleBytes, _ := json.Marshal(singleAgg.Groups)
+	if !bytes.Equal(distBytes, singleBytes) {
+		t.Fatalf("coordinator aggregate diverged from single-process:\n%s\nvs\n%s", distBytes, singleBytes)
+	}
+
+	// The coordinator distributed everything: no local simulations.
+	if n := coordMgr.RunsExecuted(); n != 0 {
+		t.Fatalf("coordinator executed %d runs locally, want 0", n)
+	}
+}
+
+// TestFleetWorkerEndpoints covers the registry API: mounted only in
+// coordinator mode, validates URLs, probes health, reports workers.
+func TestFleetWorkerEndpoints(t *testing.T) {
+	t.Parallel()
+
+	// Without a fleet, the routes do not exist.
+	plain, _ := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(plain.URL + "/v1/fleet/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/fleet/workers on a plain server = %d, want 404", resp.StatusCode)
+	}
+
+	coordSrv, _ := newCoordinator(t, 1)
+	worker, _ := newTestServer(t, Config{Workers: 1})
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(coordSrv.URL+"/v1/fleet/workers", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"url":"` + worker.URL + `"}`); code != http.StatusCreated {
+		t.Fatalf("register = %d, want 201", code)
+	}
+	if code := post(`{"url":"` + worker.URL + `"}`); code != http.StatusOK {
+		t.Fatalf("duplicate register = %d, want 200", code)
+	}
+	if code := post(`{"url":"not-absolute"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad URL = %d, want 400", code)
+	}
+	if code := post(`{"url":"http://127.0.0.1:1"}`); code != http.StatusBadGateway {
+		t.Fatalf("unreachable worker = %d, want 502", code)
+	}
+
+	var workers []fleet.WorkerStatus
+	resp, err = http.Get(coordSrv.URL + "/v1/fleet/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&workers); err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 2 {
+		t.Fatalf("registry has %d workers, want 2", len(workers))
+	}
+	for _, w := range workers {
+		if !w.Healthy {
+			t.Fatalf("worker %+v unhealthy", w)
+		}
+	}
+
+	// healthz reports the fleet counters in coordinator mode.
+	var health struct {
+		Stats Stats `json:"stats"`
+	}
+	resp, err = http.Get(coordSrv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Stats.Coordinator || health.Stats.FleetWorkers != 2 || health.Stats.FleetHealthy != 2 {
+		t.Fatalf("healthz fleet stats = %+v", health.Stats)
+	}
+}
+
+// TestCoordinatorSweepFailsCleanlyWithoutWorkers: an empty registry
+// must fail the sweep job — with the full skip-marked cell stream and
+// a summary — rather than hang or run locally.
+func TestCoordinatorSweepFailsCleanlyWithoutWorkers(t *testing.T) {
+	t.Parallel()
+	coordSrv, coordMgr := newTestServer(t, Config{Workers: 1, Fleet: fleet.New(fleet.Config{})})
+	spec := SweepSpec{
+		Algorithms: []string{"flood"},
+		Workloads:  []string{"line"},
+		Sizes:      []int{8},
+		Seeds:      []int64{1, 2},
+	}
+	job, _ := postSweepJob(t, coordSrv, spec)
+	st := awaitSweepState(t, coordSrv, job.ID, StateFailed)
+	if !strings.Contains(st.Error, "no healthy workers") {
+		t.Fatalf("error = %q", st.Error)
+	}
+	cells, sum := readCells(t, coordSrv, job.ID)
+	if len(cells) != 2 || sum == nil || sum.Errors != 2 {
+		t.Fatalf("cells = %d, summary = %+v", len(cells), sum)
+	}
+	for _, c := range cells {
+		if !strings.Contains(c.Error, "skipped") {
+			t.Fatalf("cell not skip-marked: %+v", c)
+		}
+	}
+	if n := coordMgr.RunsExecuted(); n != 0 {
+		t.Fatalf("coordinator ran %d local simulations", n)
+	}
+}

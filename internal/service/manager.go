@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"adnet/internal/expt"
+	"adnet/internal/fleet"
 	"adnet/internal/sim"
 )
 
@@ -76,6 +77,13 @@ type Config struct {
 	// (default 64). A retained sweep keeps its full cell stream in
 	// memory, so the bound is deliberately tighter than RetainJobs.
 	RetainSweeps int
+	// Fleet, when set, runs the manager in coordinator mode: sweep
+	// grids are sharded across the coordinator's registered worker
+	// servers (internal/fleet) instead of the local engine fleet, the
+	// /v1/fleet/workers endpoints are mounted, and the aggregate
+	// endpoint serves the fold-merge of the per-shard worker
+	// aggregates. Run jobs still execute locally.
+	Fleet *fleet.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -377,7 +385,11 @@ func (m *Manager) Cancel(id string) error {
 	return nil
 }
 
-// Stats is the healthz payload.
+// Stats is the healthz payload. The fleet fields are always present —
+// a coordinator with zero healthy workers must scrape as 0, not as a
+// missing key: Coordinator marks the mode, FleetWorkers counts
+// registered workers, FleetHealthy those healthy as of their last
+// probe (both 0 on a non-coordinator).
 type Stats struct {
 	Workers      int   `json:"workers"`
 	QueueDepth   int   `json:"queue_depth"`
@@ -388,6 +400,9 @@ type Stats struct {
 	CacheSize    int   `json:"cache_size"`
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
+	Coordinator  bool  `json:"coordinator"`
+	FleetWorkers int   `json:"fleet_workers"`
+	FleetHealthy int   `json:"fleet_healthy"`
 }
 
 // Stats reports live counters.
@@ -397,7 +412,7 @@ func (m *Manager) Stats() Stats {
 	jobs := len(m.jobs)
 	sweeps := len(m.sweeps)
 	m.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Workers:      m.cfg.Workers,
 		QueueDepth:   m.cfg.QueueDepth,
 		Queued:       len(m.queue),
@@ -408,7 +423,16 @@ func (m *Manager) Stats() Stats {
 		CacheHits:    hits,
 		CacheMisses:  misses,
 	}
+	if m.cfg.Fleet != nil {
+		st.Coordinator = true
+		st.FleetWorkers, st.FleetHealthy = m.cfg.Fleet.Counts()
+	}
+	return st
 }
+
+// Fleet returns the coordinator when the manager runs in coordinator
+// mode, nil otherwise.
+func (m *Manager) Fleet() *fleet.Coordinator { return m.cfg.Fleet }
 
 // RunsExecuted counts simulations actually executed (cache hits and
 // dedup joins excluded) — the observable for "no re-simulation".

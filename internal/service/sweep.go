@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"adnet/internal/expt"
+	"adnet/internal/fleet"
 	"adnet/internal/runkey"
 	"adnet/internal/sim"
 	"adnet/internal/temporal"
@@ -63,10 +64,16 @@ type SweepJob struct {
 	cancelOnce sync.Once
 	state      JobState
 	summary    *SweepSummary
-	err        error
-	enqueued   time.Time
-	started    time.Time
-	finished   time.Time
+	// aggregate, when non-nil, is the fold-merge of per-shard worker
+	// aggregates recorded by a coordinator-mode sweep; Aggregate
+	// serves it directly instead of re-folding the cell stream. The
+	// two are byte-identical for a completed sweep — storing the
+	// merged groups keeps the endpoint on the distributed path.
+	aggregate []expt.AggregateGroup
+	err       error
+	enqueued  time.Time
+	started   time.Time
+	finished  time.Time
 }
 
 // SweepStatus is the JSON-facing snapshot of a SweepJob.
@@ -160,23 +167,19 @@ func (j *SweepJob) Aggregate() ([]expt.AggregateGroup, error) {
 	default:
 		return nil, ErrSweepRunning
 	}
+	j.mu.Lock()
+	stored := j.aggregate
+	j.mu.Unlock()
+	if stored != nil {
+		return stored, nil
+	}
 	cells := j.cells.snapshot()
 	results := make([]expt.CellResult, len(cells))
 	for i, c := range cells {
-		cr := expt.CellResult{
-			Index: c.Index,
-			Cell: expt.Cell{
-				Algorithm: c.Algorithm, Workload: c.Workload,
-				N: c.N, Seed: c.Seed, MaxRounds: c.MaxRounds,
-			},
-			FromCache: c.FromCache,
-		}
-		if c.Error != "" {
-			cr.Err = errors.New(c.Error)
-		} else if c.Outcome != nil {
-			cr.Outcome = *c.Outcome
-		}
-		results[i] = cr
+		results[i] = expt.WireCellResult(c.Index, expt.Cell{
+			Algorithm: c.Algorithm, Workload: c.Workload,
+			N: c.N, Seed: c.Seed, MaxRounds: c.MaxRounds,
+		}, c.FromCache, c.Outcome, c.Error)
 	}
 	return expt.Aggregate(results), nil
 }
@@ -317,9 +320,22 @@ func (m *Manager) executeSweep(j *SweepJob) {
 		}
 	}()
 
-	sum, err := m.runGrid(ctx, j.grid, func(c SweepCell) { j.cells.publish(c) })
+	emit := func(c SweepCell) { j.cells.publish(c) }
+	var sum SweepSummary
+	var groups []expt.AggregateGroup
+	var err error
+	if m.cfg.Fleet != nil {
+		sum, groups, err = m.runGridFleet(ctx, j.grid, emit)
+	} else {
+		sum, err = m.runGrid(ctx, j.grid, emit)
+	}
 	switch {
 	case err == nil:
+		if groups != nil {
+			j.mu.Lock()
+			j.aggregate = groups
+			j.mu.Unlock()
+		}
 		j.finish(StateDone, sum, nil)
 	case errors.Is(err, sim.ErrCanceled) && wasCanceled(j.cancel):
 		j.finish(StateCanceled, sum, fmt.Errorf("canceled by request: %w", err))
@@ -395,4 +411,39 @@ func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(Sw
 	})
 	sum.Done = err == nil
 	return sum, err
+}
+
+// runGridFleet is runGrid's coordinator-mode counterpart: the grid is
+// sharded across the fleet's registered workers (fleet.RunGrid), each
+// worker's cell stream is tailed and merged back into canonical grid
+// order, and the per-shard worker aggregates fold-merge into the
+// returned groups — byte-identical to what a single-process run of
+// the same grid would aggregate. Worker failure mid-shard re-dispatches
+// the shard to a healthy worker inside fleet.RunGrid; emit still
+// receives every cell exactly once, in canonical order, from this
+// goroutine. Cell results are not entered into the local result cache:
+// they already live in the worker-side caches, and a coordinator exists
+// to stay out of simulation work entirely.
+func (m *Manager) runGridFleet(ctx context.Context, spec expt.SweepSpec, emit func(SweepCell)) (SweepSummary, []expt.AggregateGroup, error) {
+	fsum, groups, err := m.cfg.Fleet.RunGrid(ctx, spec, func(c fleet.Cell) {
+		emit(SweepCell{
+			Index:     c.Index,
+			Algorithm: c.Algorithm,
+			Workload:  c.Workload,
+			N:         c.N,
+			Seed:      c.Seed,
+			MaxRounds: c.MaxRounds,
+			FromCache: c.FromCache,
+			Outcome:   c.Outcome,
+			Error:     c.Error,
+		})
+	})
+	sum := SweepSummary{
+		Done:      err == nil,
+		Cells:     fsum.Cells,
+		CacheHits: fsum.CacheHits,
+		Executed:  fsum.Executed,
+		Errors:    fsum.Errors,
+	}
+	return sum, groups, err
 }

@@ -628,6 +628,50 @@ func TestSweepAggregateEndpoint(t *testing.T) {
 	awaitSweepState(t, srv, running.ID, StateDone)
 }
 
+// TestSweepAggregateNonTerminalReturns409 is the regression test for
+// the endpoint's status mapping: aggregating a sweep that has not
+// reached a terminal state is a client-resolvable conflict — 409 with
+// the ErrSweepRunning message — never a 500. Only a genuine server
+// fault may produce 500.
+func TestSweepAggregateNonTerminalReturns409(t *testing.T) {
+	t.Parallel()
+	srv, m := newTestServer(t, Config{Workers: 1, SweepWorkers: 1})
+
+	job, code := postSweepJob(t, srv, slowSweepSpec(1, 2, 3, 4))
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + job.ID + "/aggregate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusInternalServerError {
+		t.Fatalf("non-terminal aggregate returned 500: %s", body)
+	}
+	switch st := getSweepStatus(t, srv, job.ID); {
+	case resp.StatusCode == http.StatusConflict:
+		if !strings.Contains(string(body), "still running") {
+			t.Fatalf("409 body = %s, want the ErrSweepRunning message", body)
+		}
+	case resp.StatusCode == http.StatusOK && st.State == StateDone:
+		t.Log("sweep finished before the aggregate call; 200 is correct")
+	default:
+		t.Fatalf("aggregate of %s sweep = %d: %s", st.State, resp.StatusCode, body)
+	}
+
+	// Once terminal — even canceled — the endpoint serves 200 with the
+	// cells that did finish.
+	if err := m.CancelSweep(job.ID); err != nil && !errors.Is(err, ErrNotRunning) {
+		t.Fatal(err)
+	}
+	awaitSweepState(t, srv, job.ID, StateDone, StateCanceled)
+	if _, code := getAggregate(t, srv, job.ID); code != http.StatusOK {
+		t.Fatalf("aggregate after terminal state = %d, want 200", code)
+	}
+}
+
 // TestManagerCloseCancelsRunningSweeps pins the graceful-shutdown
 // contract: Close must not stall behind a sweep that could legally
 // run for SweepTimeLimit — it cancels live sweeps and returns once
