@@ -51,7 +51,31 @@ import (
 	"time"
 
 	"adnet/internal/expt"
+	"adnet/internal/obs"
+	"adnet/internal/sim"
 )
+
+// instrument attaches the same per-run metrics fold the service
+// performs (runs counter, rounds and ns/round histograms) to every
+// measured run, so the -compare perf gate times and alloc-counts the
+// *instrumented* engine path. The registry is never scraped here; the
+// point is paying the observer's true cost inside the measurement.
+var instrument = func() sim.Option {
+	reg := obs.NewRegistry()
+	runs := reg.Counter("adnet_engine_runs_total",
+		"Simulations executed to completion or failure.")
+	rounds := reg.Histogram("adnet_engine_rounds_per_run",
+		"Completed rounds per simulation run.", obs.ExpBuckets(1, 2, 16))
+	roundSecs := reg.Histogram("adnet_engine_round_duration_seconds",
+		"Mean wall-clock time per round, folded in once per run.", obs.ExpBuckets(1e-7, 4, 12))
+	return sim.WithRunObserver(func(s sim.RunSummary) {
+		runs.Inc()
+		rounds.Observe(float64(s.Rounds))
+		if s.Rounds > 0 {
+			roundSecs.Observe(s.Duration.Seconds() / float64(s.Rounds))
+		}
+	})
+}()
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
@@ -189,12 +213,15 @@ func runPerf(algos, workloads []string, sizes []int, seed int64) error {
 	return enc.Encode(records)
 }
 
-// measure times one cell on the shared Runner. One untimed warm-up
-// keeps process-level one-time costs (lazy init, heap growth, engine
-// buffer growth) out of the measured pass; per-run setup is still
-// included, as documented on perfRecord.
+// measure times one cell on the shared Runner — with the service's
+// run-observer instrumentation attached, so the perf gate covers the
+// observed path. One untimed warm-up keeps process-level one-time
+// costs (lazy init, heap growth, engine buffer growth) out of the
+// measured pass; per-run setup is still included, as documented on
+// perfRecord.
 func measure(r *expt.Runner, cell expt.Cell) (perfRecord, error) {
 	req := cell.Request()
+	req.SimOpts = append(req.SimOpts, instrument)
 	if _, err := r.Execute(req); err != nil {
 		return perfRecord{}, err
 	}

@@ -20,6 +20,12 @@
 //	curl -s localhost:8080/v1/sweeps/<id>
 //	curl -sN localhost:8080/v1/sweeps/<id>/cells
 //	curl -s localhost:8080/v1/sweeps/<id>/aggregate
+//	curl -s localhost:8080/metrics
+//
+// Every process exports its instruments in Prometheus text format at
+// GET /metrics, logs structured lines (-log-format text|json) carrying
+// the X-Adnet-Request-Id of the request that caused them, and can
+// expose the runtime profiler under /debug/pprof/ with -pprof.
 //
 // With -coordinator the server runs no local sweeps: it shards each
 // sweep grid across the worker servers registered with -fleet-workers
@@ -35,8 +41,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"adnet/internal/fleet"
+	"adnet/internal/obs"
 	"adnet/internal/service"
 )
 
@@ -62,12 +70,23 @@ func main() {
 	retainSweeps := flag.Int("retain-sweeps", 64, "finished sweep jobs kept queryable")
 	coordinator := flag.Bool("coordinator", false, "coordinator mode: shard sweep grids across registered worker servers instead of the local engine fleet")
 	fleetWorkers := flag.String("fleet-workers", "", "coordinator mode: comma-separated worker base URLs registered at startup (more can join via POST /v1/fleet/workers)")
+	logFormat := flag.String("log-format", "text", "log line format: text or json")
+	pprofOn := flag.Bool("pprof", false, "expose the runtime profiler under /debug/pprof/")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	// One registry per process: the service manager and (in
+	// coordinator mode) the fleet dispatcher register their instruments
+	// side by side, so a single GET /metrics scrape covers both.
+	reg := obs.NewRegistry()
 
 	var coord *fleet.Coordinator
 	switch {
 	case *coordinator:
-		coord = fleet.New(fleet.Config{})
+		coord = fleet.New(fleet.Config{Metrics: reg, Logger: logger})
 		for _, u := range strings.Split(*fleetWorkers, ",") {
 			u = strings.TrimSpace(u)
 			if u == "" {
@@ -77,10 +96,10 @@ func main() {
 			if err != nil {
 				// Not fatal: the worker may come up later and register
 				// itself (or be re-registered) via the fleet endpoint.
-				log.Printf("adnet-server: fleet: %v", err)
+				logger.Warn("fleet registration failed", slog.String("url", u), slog.String("error", err.Error()))
 				continue
 			}
-			log.Printf("adnet-server: fleet worker %s registered at %s", st.ID, st.URL)
+			logger.Info("fleet worker registered", slog.String("worker", st.ID), slog.String("url", st.URL))
 		}
 	case *fleetWorkers != "":
 		fatal(errors.New("-fleet-workers requires -coordinator"))
@@ -99,10 +118,26 @@ func main() {
 		MaxConcurrentSweeps: *sweeps,
 		SweepTimeLimit:      *sweepTimeLimit,
 		RetainSweeps:        *retainSweeps,
+		Metrics:             reg,
+		Logger:              logger,
 	})
+	handler := service.NewHandler(mgr)
+	if *pprofOn {
+		// The profiler shares the listener but not the instrumented
+		// mux: profile endpoints are ops-only and stay out of the
+		// request metrics.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(mgr),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -110,18 +145,19 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("adnet-server listening on %s", *addr)
+	logger.Info("adnet-server listening",
+		slog.String("addr", *addr), slog.Bool("coordinator", coord != nil), slog.Bool("pprof", *pprofOn))
 
 	select {
 	case err := <-errc:
 		fatal(err)
 	case <-ctx.Done():
 	}
-	log.Printf("adnet-server shutting down")
+	logger.Info("adnet-server shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("adnet-server: shutdown: %v", err)
+		logger.Error("shutdown", slog.String("error", err.Error()))
 	}
 	mgr.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

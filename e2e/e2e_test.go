@@ -548,5 +548,10 @@ func TestHealthzShape(t *testing.T) {
 	json.Unmarshal(health["stats"], &stats)
 	requireKeys(t, stats, "healthz stats",
 		"workers", "queue_depth", "queued", "jobs", "sweeps", "runs_executed",
-		"cache_size", "cache_hits", "cache_misses")
+		"cache_size", "cache_hits", "cache_misses", "uptime_seconds", "go_version")
+	var goVersion string
+	json.Unmarshal(stats["go_version"], &goVersion)
+	if !strings.HasPrefix(goVersion, "go") {
+		t.Fatalf("go_version = %q", goVersion)
+	}
 }

@@ -175,6 +175,11 @@ type CellResult struct {
 	FromCache bool                  // answered by Lookup without running
 	Ran       bool                  // a simulation actually executed
 	Err       error                 // run failure or cancellation for this cell
+	// Duration is the wall-clock cost of executing the cell (zero for
+	// cache hits and skipped cells). It feeds the service's
+	// cell-duration histogram and never enters the wire shape, so
+	// cross-process stream and aggregate comparisons stay byte-exact.
+	Duration time.Duration
 }
 
 // WireCellResult reconstructs the CellResult a streamed wire cell (a
@@ -340,7 +345,9 @@ func runCell(r *Runner, idx int, cell Cell, simOpts []sim.Option, opts SweepOpti
 		req.SimOpts = append(req.SimOpts, sim.WithCancel(done))
 	}
 	res.Ran = true
+	start := time.Now()
 	out, err := r.Execute(req)
+	res.Duration = time.Since(start)
 	if err != nil {
 		if timedOut != nil && timedOut.Load() {
 			err = fmt.Errorf("expt: cell time limit %s exceeded: %w", opts.CellTimeLimit, err)

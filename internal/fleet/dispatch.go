@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"adnet/internal/expt"
+	"adnet/internal/obs"
 )
 
 // Cell mirrors one line of a worker's NDJSON cell stream (the
@@ -101,7 +102,7 @@ func (c *Coordinator) runShard(ctx context.Context, w *worker, sh Shard, sp *sha
 	}
 	defer func() {
 		if err != nil || ctx.Err() != nil {
-			c.cancelSweep(w, id)
+			c.cancelSweep(ctx, w, id)
 		}
 	}()
 
@@ -110,6 +111,9 @@ func (c *Coordinator) runShard(ctx context.Context, w *worker, sh Shard, sp *sha
 	have := make([]bool, n)
 	var sum *shardSummary
 	for resumes := 0; ; resumes++ {
+		if resumes > 0 {
+			c.metrics.streamResumes.Inc()
+		}
 		err := c.tailCells(ctx, w, id, collected, have, &sum)
 		if err == nil && sum != nil {
 			break
@@ -170,6 +174,7 @@ func (c *Coordinator) tailCells(ctx context.Context, w *worker, id string,
 	if err != nil {
 		return err
 	}
+	obs.SetRequestIDHeader(req)
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return err
@@ -236,6 +241,7 @@ func (c *Coordinator) postSweep(ctx context.Context, w *worker, spec expt.SweepS
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.SetRequestIDHeader(req)
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return "", err
@@ -273,6 +279,7 @@ func (c *Coordinator) fetchAggregate(ctx context.Context, w *worker, id string) 
 	if err != nil {
 		return nil, err
 	}
+	obs.SetRequestIDHeader(req)
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -291,14 +298,16 @@ func (c *Coordinator) fetchAggregate(ctx context.Context, w *worker, id string) 
 }
 
 // cancelSweep aborts an abandoned worker sweep, detached from the
-// (already canceled) sweep context.
-func (c *Coordinator) cancelSweep(w *worker, id string) {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+// (already canceled) sweep context's deadline but keeping its values,
+// so the DELETE still carries the sweep's request ID.
+func (c *Coordinator) cancelSweep(ctx context.Context, w *worker, id string) {
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, w.url+"/v1/sweeps/"+id, nil)
+	req, err := http.NewRequestWithContext(dctx, http.MethodDelete, w.url+"/v1/sweeps/"+id, nil)
 	if err != nil {
 		return
 	}
+	obs.SetRequestIDHeader(req)
 	if resp, err := c.cfg.Client.Do(req); err == nil {
 		drainClose(resp)
 	}

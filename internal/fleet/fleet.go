@@ -28,11 +28,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
 	"sync"
 	"time"
+
+	"adnet/internal/obs"
 )
 
 // Registration and execution errors surfaced to the service layer.
@@ -65,11 +68,24 @@ type Config struct {
 	StreamResumes int
 	// RetryBackoff separates stream resume attempts (default 200ms).
 	RetryBackoff time.Duration
+	// Metrics receives the coordinator's instruments (shard dispatch
+	// counters, worker health transitions, per-worker shard latency).
+	// Nil gets a private registry, so an unwired coordinator still
+	// counts — it just exports nowhere.
+	Metrics *obs.Registry
+	// Logger carries the coordinator's structured log. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
 	if c.Client == nil {
 		c.Client = &http.Client{}
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	if c.HealthTimeout <= 0 {
 		c.HealthTimeout = 3 * time.Second
@@ -89,7 +105,8 @@ func (c Config) withDefaults() Config {
 // Coordinator owns the worker registry and executes sweep grids across
 // it. All methods are safe for concurrent use.
 type Coordinator struct {
-	cfg Config
+	cfg     Config
+	metrics *fleetMetrics
 
 	mu      sync.Mutex
 	workers []*worker
@@ -98,13 +115,18 @@ type Coordinator struct {
 
 // New returns a coordinator with an empty registry.
 func New(cfg Config) *Coordinator {
-	return &Coordinator{cfg: cfg.withDefaults()}
+	c := &Coordinator{cfg: cfg.withDefaults()}
+	c.metrics = newFleetMetrics(c.cfg.Metrics, c.cfg.Logger, c)
+	return c
 }
 
 // worker is one registered adnet-server process.
 type worker struct {
 	id  string
 	url string
+	// obs counts this worker's health transitions; set once at
+	// creation, before the worker is shared.
+	obs *fleetMetrics
 
 	mu         sync.Mutex
 	healthy    bool
@@ -139,6 +161,9 @@ func (w *worker) status() WorkerStatus {
 func (w *worker) setHealth(healthy bool, errText string) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.healthy != healthy {
+		w.obs.noteHealthTransition(healthy)
+	}
 	w.healthy = healthy
 	w.lastErr = errText
 	w.lastProbe = time.Now()
@@ -180,7 +205,7 @@ func (c *Coordinator) Register(ctx context.Context, rawURL string) (WorkerStatus
 		}
 	}
 	c.seq++
-	w := &worker{id: fmt.Sprintf("worker-%03d", c.seq), url: base}
+	w := &worker{id: fmt.Sprintf("worker-%03d", c.seq), url: base, obs: c.metrics}
 	c.mu.Unlock()
 
 	if ok := c.probe(ctx, w); !ok {
@@ -196,6 +221,8 @@ func (c *Coordinator) Register(ctx context.Context, rawURL string) (WorkerStatus
 	}
 	c.workers = append(c.workers, w)
 	c.mu.Unlock()
+	c.cfg.Logger.InfoContext(ctx, "fleet worker registered",
+		slog.String("worker", w.id), slog.String("url", base))
 	return w.status(), nil
 }
 
@@ -262,6 +289,7 @@ func (c *Coordinator) probe(ctx context.Context, w *worker) bool {
 		w.setHealth(false, err.Error())
 		return false
 	}
+	obs.SetRequestIDHeader(req)
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		w.setHealth(false, err.Error())

@@ -15,8 +15,24 @@ import (
 
 	"adnet/internal/expt"
 	"adnet/internal/fleet"
+	"adnet/internal/obs"
 	"adnet/internal/service"
 )
+
+// scrapeRegistry renders and strictly re-parses a registry, the same
+// round trip a Prometheus scrape takes.
+func scrapeRegistry(t *testing.T, reg *obs.Registry) *obs.Metrics {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
 
 // startWorker runs a real service manager + HTTP handler — an
 // in-process adnet-server — and returns its base URL.
@@ -232,7 +248,8 @@ func (cw *cuttingWriter) Flush() {
 // streamed a single cell: the coordinator must mark it unhealthy,
 // re-dispatch the shard to the surviving worker, skip the
 // already-merged cell on the replayed stream, and still complete the
-// full grid with a byte-identical aggregate.
+// full grid with a byte-identical aggregate — and its metrics must
+// record the churn (unhealthy-worker gauge, re-dispatch counter).
 func TestRunGridRedispatchesShardWhenWorkerDies(t *testing.T) {
 	t.Parallel()
 	mgr := service.NewManager(service.Config{Workers: 1, SweepWorkers: 1, MaxConcurrentSweeps: 4})
@@ -243,7 +260,10 @@ func TestRunGridRedispatchesShardWhenWorkerDies(t *testing.T) {
 		mgr.Close()
 	})
 
-	c := fleet.New(testConfig())
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Metrics = reg
+	c := fleet.New(cfg)
 	register(t, c, flaky.URL)
 	register(t, c, startWorker(t))
 
@@ -277,6 +297,31 @@ func TestRunGridRedispatchesShardWhenWorkerDies(t *testing.T) {
 		if w.URL == flaky.URL && w.Healthy {
 			t.Fatalf("dead worker still healthy: %+v", w)
 		}
+	}
+
+	// The churn is visible on the coordinator's metrics: the healthy
+	// gauge dropped to the surviving worker, the re-dispatch counter
+	// agrees with the summary, and the death was counted as exactly
+	// one transition into unhealthy.
+	m := scrapeRegistry(t, reg)
+	if v, ok := m.Value("adnet_fleet_workers_healthy", nil); !ok || v != 1 {
+		t.Errorf("healthy-worker gauge = %v/%v, want 1", v, ok)
+	}
+	if v, ok := m.Value("adnet_fleet_workers", nil); !ok || v != 2 {
+		t.Errorf("worker gauge = %v/%v, want 2", v, ok)
+	}
+	if v, _ := m.Value("adnet_fleet_shards_redispatched_total", nil); v != float64(sum.Redispatches) {
+		t.Errorf("re-dispatch counter = %v, want %d (the summary's count)", v, sum.Redispatches)
+	}
+	if v, _ := m.Value("adnet_fleet_worker_health_transitions_total",
+		map[string]string{"to": "unhealthy"}); v != 1 {
+		t.Errorf("unhealthy transitions = %v, want 1", v)
+	}
+	if v, _ := m.Value("adnet_fleet_shards_dispatched_total", nil); v < float64(sum.Shards+sum.Redispatches) {
+		t.Errorf("dispatch attempts = %v, want >= %d", v, sum.Shards+sum.Redispatches)
+	}
+	if v, _ := m.Value("adnet_fleet_shard_duration_seconds_count", map[string]string{"worker": "worker-002"}); v < 1 {
+		t.Errorf("surviving worker's shard-latency observations = %v, want >= 1", v)
 	}
 }
 

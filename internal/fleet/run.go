@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,9 @@ func (c *Coordinator) RunGrid(ctx context.Context, spec expt.SweepSpec, emit fun
 	sum := Summary{Cells: len(cells), Shards: len(shards)}
 
 	workers := c.healthyWorkers(ctx)
+	c.cfg.Logger.InfoContext(ctx, "fleet sweep dispatching",
+		slog.Int("cells", len(cells)), slog.Int("shards", len(shards)),
+		slog.Int("workers", len(workers)))
 	progress, runErr := c.dispatchAll(ctx, shards, workers, &sum, cells, emit)
 	// Shards that completed before a failure still did their work:
 	// keep their Executed counts in the summary, like the incremental
@@ -160,6 +164,8 @@ func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers [
 					}
 				}
 				sp := &progress[idx]
+				c.metrics.shardsDispatched.Inc()
+				dispatchStart := time.Now()
 				err := c.runShard(runCtx, w, shards[idx], sp, func(cell Cell) {
 					select {
 					case deliveries <- cell:
@@ -167,6 +173,7 @@ func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers [
 					}
 				})
 				if err == nil {
+					c.metrics.shardSeconds.With(w.id).Observe(time.Since(dispatchStart).Seconds())
 					w.noteShardDone()
 					if int(done.Add(1)) == len(shards) {
 						closeQueue()
@@ -182,6 +189,7 @@ func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers [
 					// sweeps legally hold the gate for minutes, and the
 					// coordinator sweep's own time limit (via ctx)
 					// bounds how long this loop may pace.
+					c.metrics.busyRetries.Inc()
 					select {
 					case <-time.After(c.cfg.RetryBackoff):
 					case <-runCtx.Done():
@@ -220,6 +228,10 @@ func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers [
 				// in the buffered queue and RunGrid reports ErrNoWorkers
 				// once every dispatcher has drained out.
 				w.setHealth(false, err.Error())
+				c.metrics.shardsRedispatched.Inc()
+				c.cfg.Logger.WarnContext(runCtx, "fleet worker broke mid-shard; re-dispatching",
+					slog.String("worker", w.id), slog.Int("shard", idx),
+					slog.String("error", err.Error()))
 				redispatches.Add(1)
 				queue <- idx
 				return

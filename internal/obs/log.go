@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the process-wide structured logger. format is
+// "text" or "json"; anything else is an error (surfaced as flag
+// misuse by cmd/adnet-server). The handler is wrapped so any record
+// logged with a context carrying a request ID gains a request_id
+// attribute automatically — call sites use InfoContext/ErrorContext
+// and never thread the ID by hand.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(&ctxHandler{inner: h}), nil
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for library components constructed without one, so tests stay
+// quiet.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+// ctxHandler decorates records with the context's request ID.
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+func (h *ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := RequestIDFromContext(ctx); id != "" && !hasAttr(rec, "request_id") {
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *ctxHandler) WithGroup(name string) slog.Handler {
+	return &ctxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// hasAttr reports whether the record already carries the key — the
+// access-log line sets request_id explicitly and must not get it
+// twice.
+func hasAttr(rec slog.Record, key string) bool {
+	found := false
+	rec.Attrs(func(a slog.Attr) bool {
+		if a.Key == key {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("adnet_test_requests_total", "Requests.", "route", "code")
+	c.With("/v1/runs", "200").Add(3)
+	c.With("/v1/runs", "404").Inc()
+	g := r.Gauge("adnet_test_inflight", "In flight.")
+	g.Set(7)
+	g.Dec()
+	r.GaugeFunc("adnet_test_queue_depth", "Queue depth.", func() float64 { return 4 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP adnet_test_requests_total Requests.\n",
+		"# TYPE adnet_test_requests_total counter\n",
+		`adnet_test_requests_total{route="/v1/runs",code="200"} 3` + "\n",
+		`adnet_test_requests_total{route="/v1/runs",code="404"} 1` + "\n",
+		"# TYPE adnet_test_inflight gauge\n",
+		"adnet_test_inflight 6\n",
+		"adnet_test_queue_depth 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		v := r.CounterVec("adnet_test_b_total", "b", "x")
+		v.With("2").Inc()
+		v.With("1").Inc()
+		r.Gauge("adnet_test_a", "a").Set(1)
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		if got := build(); got != first {
+			t.Fatalf("nondeterministic exposition:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if strings.Index(first, "adnet_test_a") > strings.Index(first, "adnet_test_b_total") {
+		t.Errorf("families not sorted:\n%s", first)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("adnet_test_seconds", "Durations.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count() = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-55.65) > 1e-9 {
+		t.Fatalf("Sum() = %v, want 55.65", got)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`adnet_test_seconds_bucket{le="0.1"} 2`, // le is inclusive
+		`adnet_test_seconds_bucket{le="1"} 3`,
+		`adnet_test_seconds_bucket{le="10"} 4`,
+		`adnet_test_seconds_bucket{le="+Inf"} 5`,
+		`adnet_test_seconds_sum 55.65`,
+		`adnet_test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVecSharesBuckets(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("adnet_test_latency_seconds", "Latency.", []float64{1, 2}, "worker")
+	v.With("w1").Observe(0.5)
+	v.With("w2").Observe(1.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`adnet_test_latency_seconds_bucket{worker="w1",le="1"} 1`,
+		`adnet_test_latency_seconds_bucket{worker="w2",le="1"} 0`,
+		`adnet_test_latency_seconds_bucket{worker="w2",le="2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReregisterSameShapeReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("adnet_test_total", "t")
+	b := r.Counter("adnet_test_total", "t")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || a != b {
+		t.Fatalf("re-registration did not return the same counter (a=%v)", a.Value())
+	}
+}
+
+func TestReregisterDifferentShapePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("adnet_test_total", "t")
+	assertPanics(t, func() { r.Gauge("adnet_test_total", "t") })
+	assertPanics(t, func() { r.CounterVec("adnet_test_total", "t", "route") })
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	assertPanics(t, func() { r.Counter("0bad", "t") })
+	assertPanics(t, func() { r.Counter("has space", "t") })
+	assertPanics(t, func() { r.CounterVec("adnet_ok_total", "t", "bad-label") })
+	assertPanics(t, func() { r.Histogram("adnet_h", "t", []float64{2, 1}) })
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("adnet_test_total", "t", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `adnet_test_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaping wrong, want %q in:\n%s", want, b.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		3:      "3",
+		-12:    "-12",
+		0.25:   "0.25",
+		1e21:   "1e+21",
+		1.5e-7: "1.5e-07",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its label
+// pairs, and the value. Histogram families appear as their rendered
+// _bucket/_sum/_count series.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Metrics is a parsed exposition page with lookup helpers.
+type Metrics struct {
+	// Types maps family name → counter|gauge|histogram.
+	Types   map[string]string
+	samples []Sample
+	byKey   map[string]float64
+}
+
+// ParseExposition parses a Prometheus text exposition page (version
+// 0.0.4) strictly: malformed names, labels, values, duplicate series,
+// samples without a preceding # TYPE, interleaved families and
+// timestamps are all errors. It is the consistency gate the e2e suite
+// runs against live /metrics pages, so it rejects rather than skips.
+func ParseExposition(r io.Reader) (*Metrics, error) {
+	m := &Metrics{
+		Types: make(map[string]string),
+		byKey: make(map[string]float64),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	closed := make(map[string]bool) // families whose sample block has ended
+	current := ""                   // family whose samples are being read
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("obs: exposition line %d: %s: %q", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if kind == "TYPE" {
+				if _, dup := m.Types[name]; dup {
+					return nil, fail("duplicate # TYPE for %s", name)
+				}
+				switch rest {
+				case typeCounter, typeGauge, typeHistogram:
+				default:
+					return nil, fail("unknown metric type %q", rest)
+				}
+				m.Types[name] = rest
+			}
+			continue
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		fam := familyOf(s.Name, m.Types)
+		if fam == "" {
+			return nil, fail("sample %s has no preceding # TYPE", s.Name)
+		}
+		if closed[fam] {
+			return nil, fail("family %s reappears after other families", fam)
+		}
+		if current != fam {
+			if current != "" {
+				closed[current] = true
+			}
+			current = fam
+		}
+		key := sampleKey(s.Name, s.Labels)
+		if _, dup := m.byKey[key]; dup {
+			return nil, fail("duplicate series %s", key)
+		}
+		m.byKey[key] = s.Value
+		m.samples = append(m.samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseComment handles "# HELP name text" / "# TYPE name type".
+// Other comment forms are rejected — this parser only accepts pages
+// the registry (or a conforming exporter) writes.
+func parseComment(line string) (kind, name, rest string, err error) {
+	body, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return "", "", "", fmt.Errorf("bare comment")
+	}
+	kind, body, ok = strings.Cut(body, " ")
+	if !ok || (kind != "HELP" && kind != "TYPE") {
+		return "", "", "", fmt.Errorf("comment is neither # HELP nor # TYPE")
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	if !validName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if kind == "TYPE" && rest == "" {
+		return "", "", "", fmt.Errorf("# TYPE without a type")
+	}
+	return kind, name, rest, nil
+}
+
+// parseSample parses `name{label="value",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		end, err := parseLabels(line[i:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+		i += end
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return s, fmt.Errorf("missing value")
+	}
+	valueText := strings.TrimSpace(line[i+1:])
+	if strings.ContainsAny(valueText, " \t") {
+		return s, fmt.Errorf("trailing content after value (timestamps are not accepted)")
+	}
+	v, err := parseValue(valueText)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {a="x",b="y"} block starting at text[0] == '{'
+// and returns the index just past the closing brace.
+func parseLabels(text string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(text) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if text[i] == '}' {
+			return i + 1, nil
+		}
+		j := i
+		for j < len(text) && text[j] != '=' {
+			j++
+		}
+		name := text[i:j]
+		if !validLabelName(name) && name != "le" {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := into[name]; dup {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		if j+1 >= len(text) || text[j+1] != '"' {
+			return 0, fmt.Errorf("label %q value is not quoted", name)
+		}
+		value, next, err := parseQuoted(text, j+1)
+		if err != nil {
+			return 0, err
+		}
+		into[name] = value
+		i = next
+		switch {
+		case i < len(text) && text[i] == ',':
+			i++
+		case i < len(text) && text[i] == '}':
+		default:
+			return 0, fmt.Errorf("expected ',' or '}' after label %q", name)
+		}
+	}
+}
+
+// parseQuoted reads a quoted label value with \\, \" and \n escapes,
+// starting at the opening quote, returning the value and the index
+// just past the closing quote.
+func parseQuoted(text string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(text) {
+		switch c := text[i]; c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(text) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			switch text[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c in label value", text[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func parseValue(text string) (float64, error) {
+	switch text {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", text)
+	}
+	return v, nil
+}
+
+// familyOf maps a sample name to its declared family: the name
+// itself, or — for histogram sub-series — the base name with the
+// _bucket/_sum/_count suffix stripped.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if ok && types[base] == typeHistogram {
+			return base
+		}
+	}
+	return ""
+}
+
+func sampleKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Value returns the sample with exactly the given labels (nil means
+// no labels).
+func (m *Metrics) Value(name string, labels map[string]string) (float64, bool) {
+	v, ok := m.byKey[sampleKey(name, labels)]
+	return v, ok
+}
+
+// Has reports whether any sample of the family exists (histogram
+// sub-series count).
+func (m *Metrics) Has(name string) bool {
+	for _, s := range m.samples {
+		if s.Name == name || familyOf(s.Name, m.Types) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Sum adds up every sample of name whose labels include all the match
+// pairs, returning the total and how many series matched. Histogram
+// sub-series are not summed through Sum — address them by their full
+// _count/_sum names.
+func (m *Metrics) Sum(name string, match map[string]string) (total float64, series int) {
+	for _, s := range m.samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range match {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			total += s.Value
+			series++
+		}
+	}
+	return total, series
+}

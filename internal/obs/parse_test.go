@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip feeds the registry's own output through the
+// strict parser — the invariant the e2e scrape test depends on.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("adnet_test_requests_total", "Requests.", "route", "code").
+		With("/v1/runs/{id}", "200").Add(9)
+	r.Gauge("adnet_test_inflight", "In flight.").Set(2)
+	h := r.Histogram("adnet_test_seconds", "Durations.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(3)
+	r.CounterVec("adnet_test_escape_total", "Escapes.", "v").With(`a"b\c`).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, b.String())
+	}
+
+	if v, ok := m.Value("adnet_test_requests_total",
+		map[string]string{"route": "/v1/runs/{id}", "code": "200"}); !ok || v != 9 {
+		t.Errorf("requests = %v/%v, want 9", v, ok)
+	}
+	if v, ok := m.Value("adnet_test_inflight", nil); !ok || v != 2 {
+		t.Errorf("inflight = %v/%v, want 2", v, ok)
+	}
+	if v, ok := m.Value("adnet_test_seconds_count", nil); !ok || v != 2 {
+		t.Errorf("histogram count = %v/%v, want 2", v, ok)
+	}
+	if v, ok := m.Value("adnet_test_seconds_bucket",
+		map[string]string{"le": "0.5"}); !ok || v != 1 {
+		t.Errorf("le=0.5 bucket = %v/%v, want 1", v, ok)
+	}
+	if v, ok := m.Value("adnet_test_escape_total",
+		map[string]string{"v": `a"b\c`}); !ok || v != 1 {
+		t.Errorf("escaped label value lost: %v/%v", v, ok)
+	}
+	if m.Types["adnet_test_seconds"] != "histogram" {
+		t.Errorf("type = %q, want histogram", m.Types["adnet_test_seconds"])
+	}
+	if !m.Has("adnet_test_seconds") || m.Has("adnet_absent") {
+		t.Error("Has() wrong")
+	}
+}
+
+func TestParseSum(t *testing.T) {
+	page := `# TYPE adnet_cells_total counter
+adnet_cells_total{status="ok"} 10
+adnet_cells_total{status="cached"} 2
+adnet_cells_total{status="error"} 1
+`
+	m, err := ParseExposition(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total, n := m.Sum("adnet_cells_total", nil); total != 13 || n != 3 {
+		t.Errorf("Sum(all) = %v over %d series, want 13 over 3", total, n)
+	}
+	if total, n := m.Sum("adnet_cells_total", map[string]string{"status": "ok"}); total != 10 || n != 1 {
+		t.Errorf("Sum(ok) = %v over %d series, want 10 over 1", total, n)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":            "adnet_x 1\n",
+		"bad name":           "# TYPE 0bad counter\n0bad 1\n",
+		"bad type":           "# TYPE adnet_x widget\nadnet_x 1\n",
+		"duplicate TYPE":     "# TYPE adnet_x counter\n# TYPE adnet_x counter\nadnet_x 1\n",
+		"duplicate series":   "# TYPE adnet_x counter\nadnet_x 1\nadnet_x 2\n",
+		"dup labeled series": "# TYPE adnet_x counter\nadnet_x{a=\"1\"} 1\nadnet_x{a=\"1\"} 2\n",
+		"interleaved family": "# TYPE adnet_a counter\n# TYPE adnet_b counter\nadnet_a 1\nadnet_b 1\nadnet_a 2\n",
+		"missing value":      "# TYPE adnet_x counter\nadnet_x\n",
+		"timestamp":          "# TYPE adnet_x counter\nadnet_x 1 1712000000\n",
+		"bad value":          "# TYPE adnet_x counter\nadnet_x one\n",
+		"unterminated label": "# TYPE adnet_x counter\nadnet_x{a=\"1\" 1\n",
+		"unquoted label":     "# TYPE adnet_x counter\nadnet_x{a=1} 1\n",
+		"bad escape":         "# TYPE adnet_x counter\nadnet_x{a=\"\\t\"} 1\n",
+		"duplicate label":    "# TYPE adnet_x counter\nadnet_x{a=\"1\",a=\"2\"} 1\n",
+		"bare comment":       "#comment\n",
+	}
+	for name, page := range cases {
+		if _, err := ParseExposition(strings.NewReader(page)); err == nil {
+			t.Errorf("%s: parse accepted malformed page:\n%s", name, page)
+		}
+	}
+}
+
+func TestParseAcceptsValidVariants(t *testing.T) {
+	page := `# HELP adnet_x Help text with spaces.
+# TYPE adnet_x gauge
+adnet_x -1.5
+# TYPE adnet_h histogram
+adnet_h_bucket{le="+Inf"} 0
+adnet_h_sum 0
+adnet_h_count 0
+`
+	m, err := ParseExposition(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Value("adnet_x", nil); !ok || v != -1.5 {
+		t.Errorf("adnet_x = %v/%v, want -1.5", v, ok)
+	}
+}

@@ -32,9 +32,18 @@ import (
 //
 //	POST   /v1/fleet/workers         register a worker server {"url": ...}
 //	GET    /v1/fleet/workers         registry with per-worker health
+//
+// Every route is wrapped by the manager's HTTP instrumentation: the
+// mux pattern becomes the metric route label (bounded cardinality —
+// never the raw path), a request ID is assigned or reused from
+// X-Adnet-Request-Id, and GET /metrics serves the registry in
+// Prometheus text exposition format.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, m.metrics.httpm.Wrap(pattern, h))
+	}
+	handle("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
 		var spec RunSpec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -61,10 +70,10 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, code, submitResponse{Job: job.Status(), Cached: cached})
 	})
-	mux.HandleFunc("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/runs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Jobs())
 	})
-	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, ErrNotFound)
@@ -72,7 +81,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, job.Status())
 	})
-	mux.HandleFunc("DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		err := m.Cancel(r.PathValue("id"))
 		switch {
 		case err == nil:
@@ -83,7 +92,7 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusConflict, err)
 		}
 	})
-	mux.HandleFunc("GET /v1/runs/{id}/rounds", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/runs/{id}/rounds", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, ErrNotFound)
@@ -91,7 +100,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		streamNDJSON(w, r, &job.Stream().stream)
 	})
-	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
 		var spec SweepSpec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -99,7 +108,7 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		job, err := m.SubmitSweep(spec)
+		job, err := m.SubmitSweep(r.Context(), spec)
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrSweepBusy), errors.Is(err, ErrClosed):
@@ -111,10 +120,10 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusAccepted, sweepSubmitResponse{Sweep: job.Status()})
 	})
-	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Sweeps())
 	})
-	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.GetSweep(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, ErrNotFound)
@@ -122,7 +131,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, job.Status())
 	})
-	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
 		err := m.CancelSweep(r.PathValue("id"))
 		switch {
 		case err == nil:
@@ -133,7 +142,7 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusConflict, err)
 		}
 	})
-	mux.HandleFunc("GET /v1/sweeps/{id}/cells", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/sweeps/{id}/cells", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.GetSweep(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, ErrNotFound)
@@ -150,7 +159,7 @@ func NewHandler(m *Manager) http.Handler {
 			_ = enc.Encode(st.Summary)
 		}
 	})
-	mux.HandleFunc("GET /v1/sweeps/{id}/aggregate", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/sweeps/{id}/aggregate", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.GetSweep(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, ErrNotFound)
@@ -175,7 +184,7 @@ func NewHandler(m *Manager) http.Handler {
 		})
 	})
 	if fl := m.Fleet(); fl != nil {
-		mux.HandleFunc("POST /v1/fleet/workers", func(w http.ResponseWriter, r *http.Request) {
+		handle("POST /v1/fleet/workers", func(w http.ResponseWriter, r *http.Request) {
 			var req workerRegistration
 			dec := json.NewDecoder(r.Body)
 			dec.DisallowUnknownFields()
@@ -198,19 +207,20 @@ func NewHandler(m *Manager) http.Handler {
 				writeError(w, http.StatusBadGateway, err)
 			}
 		})
-		mux.HandleFunc("GET /v1/fleet/workers", func(w http.ResponseWriter, r *http.Request) {
+		handle("GET /v1/fleet/workers", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, fl.Workers(r.Context()))
 		})
 	}
-	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, expt.Algorithms())
 	})
-	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, expt.Workloads())
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: m.Stats()})
 	})
+	mux.Handle("GET /metrics", m.metrics.httpm.Wrap("GET /metrics", m.Registry().Handler()))
 	return mux
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"adnet/internal/expt"
 	"adnet/internal/fleet"
+	"adnet/internal/obs"
 	"adnet/internal/sim"
 )
 
@@ -84,6 +86,15 @@ type Config struct {
 	// endpoint serves the fold-merge of the per-shard worker
 	// aggregates. Run jobs still execute locally.
 	Fleet *fleet.Coordinator
+	// Metrics receives the manager's instruments and is served at
+	// GET /metrics (default: a fresh private registry). A server
+	// sharing one registry between its fleet coordinator and manager
+	// passes the same instance to both configs.
+	Metrics *obs.Registry
+	// Logger receives structured lifecycle and access logs (default:
+	// discard). Records logged with a request-scoped context carry the
+	// request ID automatically.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +130,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainSweeps <= 0 {
 		c.RetainSweeps = 64
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -230,6 +247,10 @@ type Manager struct {
 
 	seq          atomic.Int64
 	runsExecuted atomic.Int64
+
+	metrics *metrics
+	logger  *slog.Logger
+	start   time.Time
 }
 
 // NewManager starts cfg.Workers workers; callers must Close it.
@@ -243,13 +264,24 @@ func NewManager(cfg Config) *Manager {
 		inWork:    make(map[string]*Job),
 		sweeps:    make(map[string]*SweepJob),
 		sweepGate: make(chan struct{}, cfg.MaxConcurrentSweeps),
+		logger:    cfg.Logger,
+		start:     time.Now(),
 	}
+	m.metrics = newMetrics(cfg.Metrics, cfg.Logger)
+	m.registerManagerGauges(cfg.Metrics)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
 }
+
+// Registry exposes the manager's metrics registry — the one
+// GET /metrics serves.
+func (m *Manager) Registry() *obs.Registry { return m.cfg.Metrics }
+
+// Logger exposes the manager's structured logger.
+func (m *Manager) Logger() *slog.Logger { return m.logger }
 
 // Close stops accepting submissions, cancels live sweep jobs, and
 // waits for in-flight work. Queued run jobs still run (to drop them,
@@ -295,6 +327,7 @@ func (m *Manager) Submit(spec RunSpec) (job *Job, cached bool, err error) {
 		j.stream = newClosedStream(entry.Rounds)
 		m.register(j)
 		m.retire(j)
+		m.metrics.runSubmissions.With("cached").Inc()
 		return j, true, nil
 	}
 
@@ -311,6 +344,7 @@ func (m *Manager) Submit(spec RunSpec) (job *Job, cached bool, err error) {
 	if live, ok := m.inWork[key]; ok && !wasCanceled(live.cancel) {
 		if st := live.State(); st == StateQueued || st == StateRunning {
 			m.mu.Unlock()
+			m.metrics.runSubmissions.With("joined").Inc()
 			return live, false, nil
 		}
 	}
@@ -320,11 +354,13 @@ func (m *Manager) Submit(spec RunSpec) (job *Job, cached bool, err error) {
 	case m.queue <- j:
 	default:
 		m.mu.Unlock()
+		m.metrics.runSubmissions.With("rejected").Inc()
 		return nil, false, ErrQueueFull
 	}
 	m.jobs[j.ID] = j
 	m.inWork[key] = j
 	m.mu.Unlock()
+	m.metrics.runSubmissions.With("new").Inc()
 	return j, false, nil
 }
 
@@ -403,6 +439,10 @@ type Stats struct {
 	Coordinator  bool  `json:"coordinator"`
 	FleetWorkers int   `json:"fleet_workers"`
 	FleetHealthy int   `json:"fleet_healthy"`
+	// UptimeSeconds and GoVersion let probes distinguish a restarted
+	// server from a live one and audit the deployed toolchain.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
 }
 
 // Stats reports live counters.
@@ -413,15 +453,17 @@ func (m *Manager) Stats() Stats {
 	sweeps := len(m.sweeps)
 	m.mu.Unlock()
 	st := Stats{
-		Workers:      m.cfg.Workers,
-		QueueDepth:   m.cfg.QueueDepth,
-		Queued:       len(m.queue),
-		Jobs:         jobs,
-		Sweeps:       sweeps,
-		RunsExecuted: m.runsExecuted.Load(),
-		CacheSize:    size,
-		CacheHits:    hits,
-		CacheMisses:  misses,
+		Workers:       m.cfg.Workers,
+		QueueDepth:    m.cfg.QueueDepth,
+		Queued:        len(m.queue),
+		Jobs:          jobs,
+		Sweeps:        sweeps,
+		RunsExecuted:  m.runsExecuted.Load(),
+		CacheSize:     size,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		GoVersion:     runtime.Version(),
 	}
 	if m.cfg.Fleet != nil {
 		st.Coordinator = true
@@ -494,6 +536,7 @@ func (m *Manager) execute(j *Job) {
 		j.mu.Lock()
 		j.err = context.Canceled
 		j.mu.Unlock()
+		m.metrics.runJobs.With(string(StateCanceled)).Inc()
 		return
 	default:
 	}
@@ -512,6 +555,7 @@ func (m *Manager) execute(j *Job) {
 	opts := []sim.Option{
 		sim.WithRoundHook(func(ev sim.RoundEvent) { j.stream.publish(ev.Stats) }),
 		sim.WithCancel(ctx.Done()),
+		sim.WithRunObserver(m.metrics.observeRun),
 	}
 	if j.Spec.MaxRounds > 0 {
 		opts = append(opts, sim.WithMaxRounds(j.Spec.MaxRounds))
@@ -544,6 +588,13 @@ func (m *Manager) execute(j *Job) {
 		j.err = err
 		j.mu.Unlock()
 		j.setState(StateFailed)
+	}
+	state := j.State()
+	m.metrics.runJobs.With(string(state)).Inc()
+	if state == StateFailed {
+		m.logger.Error("run failed",
+			slog.String("job_id", j.ID),
+			slog.String("error", err.Error()))
 	}
 }
 

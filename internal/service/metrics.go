@@ -1,0 +1,143 @@
+package service
+
+import (
+	"log/slog"
+
+	"adnet/internal/obs"
+	"adnet/internal/sim"
+)
+
+// metrics holds the service layer's instruments. Every Manager owns
+// its own set, registered on the Config.Metrics registry — there is
+// no package-global state, so parallel Managers (tests, in-process
+// fleets) never share counters.
+type metrics struct {
+	httpm *obs.HTTPMetrics
+
+	// Job lifecycle. Submissions are counted by how they resolved
+	// (new/cached/joined/rejected); jobs and sweeps by the terminal
+	// state they reached.
+	runSubmissions *obs.CounterVec
+	runJobs        *obs.CounterVec
+	sweepJobs      *obs.CounterVec
+	// sweepRejections counts POST /v1/sweeps turned away by the
+	// concurrent-sweep gate (the 503s load-shedding emits).
+	sweepRejections *obs.Counter
+	sweepsActive    *obs.Gauge
+
+	// Sweep execution. Cells are counted by status; durations and
+	// utilization are folded in once per cell / once per grid.
+	sweepCells  *obs.CounterVec
+	cellSeconds *obs.Histogram
+	// gridUtilization is busy-time / (workers × wall-clock) of one
+	// locally executed grid — how well the engine fleet was kept fed.
+	gridUtilization *obs.Histogram
+
+	// Engine digests, folded once per run by the run observer; the
+	// round hot loop is never touched.
+	engineRuns      *obs.Counter
+	engineRounds    *obs.Histogram
+	engineRoundSecs *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry, logger *slog.Logger) *metrics {
+	return &metrics{
+		httpm: obs.NewHTTPMetrics(reg, logger),
+		runSubmissions: reg.CounterVec("adnet_run_submissions_total",
+			"Run submissions by resolution: new (enqueued), cached (served from the result cache), joined (coalesced with an identical in-flight run), rejected (queue full).",
+			"result"),
+		runJobs: reg.CounterVec("adnet_run_jobs_total",
+			"Run jobs that reached a terminal state, by state.",
+			"state"),
+		sweepJobs: reg.CounterVec("adnet_sweep_jobs_total",
+			"Sweep jobs that reached a terminal state, by state.",
+			"state"),
+		sweepRejections: reg.Counter("adnet_sweep_gate_rejections_total",
+			"Sweep submissions rejected by the concurrent-sweep gate."),
+		sweepsActive: reg.Gauge("adnet_sweeps_active",
+			"Sweep jobs currently admitted through the gate."),
+		sweepCells: reg.CounterVec("adnet_sweep_cells_total",
+			"Sweep cells finished, by status: ok (executed), cached (served without running), error.",
+			"status"),
+		cellSeconds: reg.Histogram("adnet_sweep_cell_duration_seconds",
+			"Wall-clock duration of executed sweep cells (cache hits excluded).",
+			obs.LatencyBuckets()),
+		gridUtilization: reg.Histogram("adnet_sweep_grid_utilization_ratio",
+			"Per-grid engine-fleet utilization: total cell busy time over workers times wall-clock.",
+			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}),
+		engineRuns: reg.Counter("adnet_engine_runs_total",
+			"Simulations executed to completion or failure."),
+		engineRounds: reg.Histogram("adnet_engine_rounds_per_run",
+			"Completed rounds per simulation run.",
+			obs.ExpBuckets(1, 2, 16)),
+		engineRoundSecs: reg.Histogram("adnet_engine_round_duration_seconds",
+			"Mean wall-clock time per round, folded in once per run.",
+			obs.ExpBuckets(1e-7, 4, 12)),
+	}
+}
+
+// registerManagerGauges binds scrape-time views of state the manager
+// already tracks. Called once from NewManager, after the queue and
+// cache exist.
+func (m *Manager) registerManagerGauges(reg *obs.Registry) {
+	reg.GaugeFunc("adnet_run_queue_depth",
+		"Run jobs waiting for a worker.",
+		func() float64 { return float64(len(m.queue)) })
+	reg.GaugeFunc("adnet_run_queue_capacity",
+		"Run queue capacity (QueueDepth).",
+		func() float64 { return float64(cap(m.queue)) })
+	reg.GaugeFunc("adnet_run_workers",
+		"Size of the run worker pool.",
+		func() float64 { return float64(m.cfg.Workers) })
+	reg.GaugeFunc("adnet_jobs_tracked",
+		"Run jobs in the table (live and retained).",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.jobs))
+		})
+	reg.GaugeFunc("adnet_sweeps_tracked",
+		"Sweep jobs in the table (live and retained).",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.sweeps))
+		})
+	reg.CounterFunc("adnet_runs_executed_total",
+		"Simulations actually executed by this server (cache hits and dedup joins excluded).",
+		func() float64 { return float64(m.runsExecuted.Load()) })
+	reg.CounterFunc("adnet_cache_hits_total",
+		"Result-cache hits.",
+		func() float64 { _, hits, _ := m.cache.Stats(); return float64(hits) })
+	reg.CounterFunc("adnet_cache_misses_total",
+		"Result-cache misses.",
+		func() float64 { _, _, misses := m.cache.Stats(); return float64(misses) })
+	reg.GaugeFunc("adnet_cache_entries",
+		"Result-cache entries resident.",
+		func() float64 { size, _, _ := m.cache.Stats(); return float64(size) })
+}
+
+// observeRun is the sim.WithRunObserver hook shared by run jobs and
+// locally executed sweep cells: one fold per run, after the loop.
+func (mt *metrics) observeRun(s sim.RunSummary) {
+	mt.engineRuns.Inc()
+	mt.engineRounds.Observe(float64(s.Rounds))
+	if s.Rounds > 0 {
+		mt.engineRoundSecs.Observe(s.Duration.Seconds() / float64(s.Rounds))
+	}
+}
+
+// observeCell counts a finished cell and folds its cost in.
+func (mt *metrics) observeCell(ran, fromCache bool, errText bool, dur float64) {
+	switch {
+	case errText:
+		mt.sweepCells.With("error").Inc()
+	case fromCache:
+		mt.sweepCells.With("cached").Inc()
+	default:
+		mt.sweepCells.With("ok").Inc()
+	}
+	if ran {
+		mt.cellSeconds.Observe(dur)
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
 
 	"adnet/internal/expt"
 	"adnet/internal/fleet"
+	"adnet/internal/obs"
 	"adnet/internal/runkey"
 	"adnet/internal/sim"
 	"adnet/internal/temporal"
@@ -59,6 +61,11 @@ type SweepJob struct {
 	grid   expt.SweepSpec
 	cells  *CellStream
 	cancel chan struct{}
+	// reqID is the request ID of the submitting HTTP request; the
+	// background execution re-attaches it to its context so sweep
+	// lifecycle logs — and coordinator→worker dispatches — stay
+	// correlatable with the submission.
+	reqID string
 
 	mu         sync.Mutex
 	cancelOnce sync.Once
@@ -188,8 +195,11 @@ func (j *SweepJob) Aggregate() ([]expt.AggregateGroup, error) {
 // job: the call returns as soon as the job exists, the grid runs on
 // its own engine fleet in the background. Concurrent sweeps are
 // bounded by cfg.MaxConcurrentSweeps; beyond that SubmitSweep fails
-// fast with ErrSweepBusy.
-func (m *Manager) SubmitSweep(spec SweepSpec) (*SweepJob, error) {
+// fast with ErrSweepBusy. ctx is the submission's context: its
+// request ID (when present) is carried into the background execution
+// for log correlation and coordinator→worker propagation; ctx's
+// cancellation does NOT cancel the sweep.
+func (m *Manager) SubmitSweep(ctx context.Context, spec SweepSpec) (*SweepJob, error) {
 	if err := spec.Validate(m.cfg.MaxN, m.cfg.MaxSweepCells); err != nil {
 		return nil, fmt.Errorf("service: invalid sweep: %w", err)
 	}
@@ -202,12 +212,18 @@ func (m *Manager) SubmitSweep(spec SweepSpec) (*SweepJob, error) {
 	case m.sweepGate <- struct{}{}:
 	default:
 		m.mu.Unlock()
+		m.metrics.sweepRejections.Inc()
 		return nil, ErrSweepBusy
 	}
 	j := m.newSweepJob(spec)
+	j.reqID = obs.RequestIDFromContext(ctx)
 	m.sweeps[j.ID] = j
 	m.sweepWG.Add(1)
 	m.mu.Unlock()
+	m.metrics.sweepsActive.Inc()
+	m.logger.InfoContext(ctx, "sweep accepted",
+		slog.String("sweep_id", j.ID),
+		slog.Int("cells", j.grid.NumCells()))
 	go m.executeSweep(j)
 	return j, nil
 }
@@ -286,8 +302,20 @@ func (m *Manager) executeSweep(j *SweepJob) {
 	defer m.sweepWG.Done()
 	defer func() {
 		<-m.sweepGate
+		m.metrics.sweepsActive.Dec()
 		j.cells.close()
 		m.retireSweep(j)
+	}()
+	// The submission's request ID rides along on the background
+	// context: lifecycle logs and coordinator→worker dispatches all
+	// carry it.
+	base := obs.ContextWithRequestID(context.Background(), j.reqID)
+	defer func() {
+		st := j.State()
+		m.metrics.sweepJobs.With(string(st)).Inc()
+		m.logger.InfoContext(base, "sweep finished",
+			slog.String("sweep_id", j.ID),
+			slog.String("state", string(st)))
 	}()
 
 	select {
@@ -310,7 +338,7 @@ func (m *Manager) executeSweep(j *SweepJob) {
 	}
 	j.setState(StateRunning)
 
-	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.SweepTimeLimit)
+	ctx, cancel := context.WithTimeout(base, m.cfg.SweepTimeLimit)
 	defer cancel()
 	go func() {
 		select {
@@ -355,8 +383,18 @@ func (m *Manager) executeSweep(j *SweepJob) {
 // Cancellation via ctx aborts between rounds/cells.
 func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(SweepCell)) (SweepSummary, error) {
 	sum := SweepSummary{Cells: spec.NumCells()}
+	workers := m.cfg.SweepWorkers
+	if n := spec.NumCells(); workers > n {
+		workers = n
+	}
+	// busy accumulates executed-cell wall time (Emit runs on this
+	// goroutine only); with the grid's wall-clock it yields the
+	// engine-fleet utilization fold after the sweep.
+	var busy time.Duration
+	start := time.Now()
 	_, err := expt.ExecuteSweep(spec, expt.SweepOptions{
 		Workers:       m.cfg.SweepWorkers,
+		SimOpts:       []sim.Option{sim.WithRunObserver(m.metrics.observeRun)},
 		CollectRounds: true,
 		Cancel:        ctx.Done(),
 		CellTimeLimit: m.cfg.RunTimeLimit,
@@ -384,10 +422,12 @@ func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(Sw
 			if cr.Ran {
 				m.runsExecuted.Add(1)
 				sum.Executed++
+				busy += cr.Duration
 			}
 			if cr.FromCache {
 				sum.CacheHits++
 			}
+			m.metrics.observeCell(cr.Ran, cr.FromCache, cr.Err != nil, cr.Duration.Seconds())
 			cell := SweepCell{
 				Index:     cr.Index,
 				Algorithm: cr.Cell.Algorithm,
@@ -409,6 +449,9 @@ func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(Sw
 			}
 		},
 	})
+	if wall := time.Since(start); wall > 0 && workers > 0 {
+		m.metrics.gridUtilization.Observe(busy.Seconds() / (wall.Seconds() * float64(workers)))
+	}
 	sum.Done = err == nil
 	return sum, err
 }
@@ -426,6 +469,10 @@ func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(Sw
 // to stay out of simulation work entirely.
 func (m *Manager) runGridFleet(ctx context.Context, spec expt.SweepSpec, emit func(SweepCell)) (SweepSummary, []expt.AggregateGroup, error) {
 	fsum, groups, err := m.cfg.Fleet.RunGrid(ctx, spec, func(c fleet.Cell) {
+		// The coordinator counts merged cells too (no durations — the
+		// workers own those), so cross-process cell totals can be
+		// checked against each other at scrape time.
+		m.metrics.observeCell(false, c.FromCache, c.Error != "", 0)
 		emit(SweepCell{
 			Index:     c.Index,
 			Algorithm: c.Algorithm,

@@ -680,7 +680,7 @@ func TestManagerCloseCancelsRunningSweeps(t *testing.T) {
 	t.Parallel()
 	m := NewManager(Config{Workers: 1, SweepWorkers: 1})
 
-	j, err := m.SubmitSweep(slowSweepSpec(1, 2, 3, 4, 5, 6, 7, 8))
+	j, err := m.SubmitSweep(context.Background(), slowSweepSpec(1, 2, 3, 4, 5, 6, 7, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -710,7 +710,7 @@ func TestSweepRetentionBoundsSweepTable(t *testing.T) {
 	var last *SweepJob
 	for seed := int64(0); seed < 4; seed++ {
 		small.Seeds = []int64{seed}
-		j, err := m.SubmitSweep(small)
+		j, err := m.SubmitSweep(context.Background(), small)
 		if err != nil {
 			t.Fatal(err)
 		}

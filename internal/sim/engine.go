@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"adnet/internal/graph"
 	"adnet/internal/temporal"
@@ -53,8 +54,9 @@ type Engine struct {
 	acts      []graph.Edge
 	deacts    []graph.Edge
 
-	n     int
-	ready bool // a successful Reset has not yet been consumed by Run
+	n        int
+	ready    bool // a successful Reset has not yet been consumed by Run
+	runStart time.Time
 }
 
 // NewEngine returns an idle engine. Close it when done to release the
@@ -173,6 +175,9 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	e.ready = false
 	cfg := &e.cfg
+	if cfg.observer != nil {
+		e.runStart = time.Now()
+	}
 	n := e.n
 	hist := e.hist
 	ctxs := e.ctxs[:n]
@@ -303,6 +308,15 @@ func (e *Engine) step(fn func(i int)) {
 }
 
 func (e *Engine) finish(rounds, totalMsgs, maxMsgs int) *Result {
+	// The observer fires here — once per run, after the round loop —
+	// so instrumentation never executes inside the hot loop.
+	if e.cfg.observer != nil {
+		e.cfg.observer(RunSummary{
+			Rounds:        rounds,
+			Duration:      time.Since(e.runStart),
+			TotalMessages: totalMsgs,
+		})
+	}
 	res := &Result{
 		History:             e.hist,
 		Metrics:             e.hist.Metrics(),

@@ -15,6 +15,7 @@ package sim
 
 import (
 	"errors"
+	"time"
 
 	"adnet/internal/graph"
 	"adnet/internal/temporal"
@@ -106,6 +107,7 @@ type config struct {
 	hooks        []func(RoundEvent)
 	trace        bool
 	done         <-chan struct{}
+	observer     func(RunSummary)
 }
 
 // Option configures Run.
@@ -141,6 +143,28 @@ func WithTrace() Option { return func(c *config) { c.trace = true } }
 // running simulation (e.g. context.Context.Done from a server job).
 func WithCancel(done <-chan struct{}) Option {
 	return func(c *config) { c.done = done }
+}
+
+// RunSummary is the once-per-run digest handed to a run observer when
+// an execution finishes (successfully or not).
+type RunSummary struct {
+	// Rounds is the number of completed rounds.
+	Rounds int
+	// Duration is the wall-clock time of the round loop (Run entry to
+	// finish), excluding Reset.
+	Duration time.Duration
+	// TotalMessages counts every delivered message across the run.
+	TotalMessages int
+}
+
+// WithRunObserver registers fn to be called exactly once when the run
+// finishes, with the run's round count, wall-clock duration and
+// message total. This is the engine's metrics hook: folding the
+// digest in after the loop keeps the per-round hot path free of
+// instrumentation (and of allocations — the bench -compare gate
+// enforces it). fn runs on the engine's goroutine; keep it cheap.
+func WithRunObserver(fn func(RunSummary)) Option {
+	return func(c *config) { c.observer = fn }
 }
 
 // Result is the outcome of an execution.
