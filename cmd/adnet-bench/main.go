@@ -55,12 +55,14 @@ import (
 	"adnet/internal/sim"
 )
 
-// instrument attaches the same per-run metrics fold the service
-// performs (runs counter, rounds and ns/round histograms) to every
-// measured run, so the -compare perf gate times and alloc-counts the
+// instrumentFold is the same per-run metrics fold the service performs
+// (runs counter, rounds and ns/round histograms), attached to every
+// measured run so the -compare perf gate times and alloc-counts the
 // *instrumented* engine path. The registry is never scraped here; the
 // point is paying the observer's true cost inside the measurement.
-var instrument = func() sim.Option {
+// measure chains it with its own RunSummary capture, since an engine
+// run has exactly one observer.
+var instrumentFold = func() func(sim.RunSummary) {
 	reg := obs.NewRegistry()
 	runs := reg.Counter("adnet_engine_runs_total",
 		"Simulations executed to completion or failure.")
@@ -68,13 +70,13 @@ var instrument = func() sim.Option {
 		"Completed rounds per simulation run.", obs.ExpBuckets(1, 2, 16))
 	roundSecs := reg.Histogram("adnet_engine_round_duration_seconds",
 		"Mean wall-clock time per round, folded in once per run.", obs.ExpBuckets(1e-7, 4, 12))
-	return sim.WithRunObserver(func(s sim.RunSummary) {
+	return func(s sim.RunSummary) {
 		runs.Inc()
 		rounds.Observe(float64(s.Rounds))
 		if s.Rounds > 0 {
 			roundSecs.Observe(s.Duration.Seconds() / float64(s.Rounds))
 		}
-	})
+	}
 }()
 
 func main() {
@@ -180,6 +182,12 @@ type perfRecord struct {
 	NsPerRound     float64 `json:"ns_per_round"`
 	AllocsPerRound float64 `json:"allocs_per_round"`
 	BytesPerRound  float64 `json:"bytes_per_round"`
+	// Workers and ParallelEfficiency (busy/(workers×wall), 1.0 when
+	// sequential) report how the measured run was stepped. Added with
+	// the parallel intra-round path; absent in older BENCH_*.json,
+	// where they decode as zero and are ignored by -compare.
+	Workers            int     `json:"workers"`
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
 }
 
 // runPerf executes the algorithm × workload × size grid — enumerated
@@ -221,7 +229,11 @@ func runPerf(algos, workloads []string, sizes []int, seed int64) error {
 // perfRecord.
 func measure(r *expt.Runner, cell expt.Cell) (perfRecord, error) {
 	req := cell.Request()
-	req.SimOpts = append(req.SimOpts, instrument)
+	var last sim.RunSummary
+	req.SimOpts = append(req.SimOpts, sim.WithRunObserver(func(s sim.RunSummary) {
+		instrumentFold(s)
+		last = s
+	}))
 	if _, err := r.Execute(req); err != nil {
 		return perfRecord{}, err
 	}
@@ -240,15 +252,17 @@ func measure(r *expt.Runner, cell expt.Cell) (perfRecord, error) {
 		rounds = 1
 	}
 	return perfRecord{
-		Algorithm:      cell.Algorithm,
-		Workload:       cell.Workload,
-		N:              cell.N,
-		Seed:           cell.Seed,
-		Rounds:         out.Rounds,
-		TotalNs:        elapsed.Nanoseconds(),
-		NsPerRound:     float64(elapsed.Nanoseconds()) / float64(rounds),
-		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(rounds),
-		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+		Algorithm:          cell.Algorithm,
+		Workload:           cell.Workload,
+		N:                  cell.N,
+		Seed:               cell.Seed,
+		Rounds:             out.Rounds,
+		TotalNs:            elapsed.Nanoseconds(),
+		NsPerRound:         float64(elapsed.Nanoseconds()) / float64(rounds),
+		AllocsPerRound:     float64(after.Mallocs-before.Mallocs) / float64(rounds),
+		BytesPerRound:      float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+		Workers:            last.Workers,
+		ParallelEfficiency: last.ParallelEfficiency(),
 	}, nil
 }
 

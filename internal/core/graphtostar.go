@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"adnet/internal/graph"
 	"adnet/internal/sim"
 )
@@ -57,8 +59,11 @@ type GraphToStar struct {
 	mode   Mode
 	// target is the node this committee acts toward: the merge target
 	// in merging mode, the currently queried node in pulling mode.
-	target    graph.ID
-	followers map[graph.ID]bool // leader only
+	target graph.ID
+	// followers is the leader's member list, kept sorted ascending so
+	// membership tests are binary searches and iteration is
+	// deterministic.
+	followers []graph.ID
 
 	// Phase scratch, reset at every phase start.
 	foreign     map[graph.ID]Announce // orig neighbor -> its announcement
@@ -87,6 +92,19 @@ type GraphToStar struct {
 	// opposed to the phase in which the merge was merely scheduled by
 	// a pairing reply or a pulling Root reply.
 	execMerge bool
+
+	// Outgoing payload scratch. Multi-field payloads are sent as
+	// pointers to these machine-owned values so a round's broadcasts
+	// box no interfaces and allocate nothing: the engine's Send/Receive
+	// phases are barrier-separated and receivers copy what they keep,
+	// so the pointee is stable for exactly as long as it is readable.
+	// (Round hooks that retain messages must deep-copy such payloads;
+	// see sim.RoundEvent.)
+	annOut   Announce
+	repOut   gtsReport
+	replyOut gtsReply
+	selOut   gtsSelState
+	nextOut  gtsNextMode
 }
 
 var _ sim.Machine = (*GraphToStar)(nil)
@@ -96,13 +114,33 @@ var _ sim.Machine = (*GraphToStar)(nil)
 func NewGraphToStarFactory() sim.Factory {
 	return func(id graph.ID, _ sim.Env) sim.Machine {
 		return &GraphToStar{
-			selfID:    id,
-			role:      RoleLeader,
-			leader:    id,
-			mode:      ModeSelection,
-			followers: make(map[graph.ID]bool),
-			foreign:   make(map[graph.ID]Announce),
+			selfID:  id,
+			role:    RoleLeader,
+			leader:  id,
+			mode:    ModeSelection,
+			foreign: make(map[graph.ID]Announce),
 		}
+	}
+}
+
+var _ sim.Recycler = (*GraphToStar)(nil)
+
+// Recycle implements sim.Recycler: it restores the machine to its
+// factory-fresh state for (id, env) while keeping the follower slice,
+// report buffer and foreign map capacity, making repeated runs through
+// a recycling engine allocation-free.
+func (m *GraphToStar) Recycle(id graph.ID, _ sim.Env) {
+	clear(m.foreign)
+	*m = GraphToStar{
+		selfID:    id,
+		role:      RoleLeader,
+		leader:    id,
+		mode:      ModeSelection,
+		followers: m.followers[:0],
+		foreign:   m.foreign,
+		reports:   m.reports[:0],
+		queriers:  m.queriers[:0],
+		linkers:   m.linkers[:0],
 	}
 }
 
@@ -128,13 +166,14 @@ func (m *GraphToStar) Send(ctx *sim.Context) {
 		if m.mode == ModeTermination {
 			return // this phase tears down and halts instead
 		}
-		ann := Announce{Leader: m.leader, Mode: m.mode}
+		m.annOut = Announce{Leader: m.leader, Mode: m.mode}
 		for _, v := range ctx.OrigNeighbors() {
-			ctx.Send(v, ann)
+			ctx.Send(v, &m.annOut)
 		}
 	case 1: // REPORT to leader
 		if m.role == RoleFollower {
-			ctx.Send(m.leader, m.makeReport())
+			m.repOut = m.makeReport()
+			ctx.Send(m.leader, &m.repOut)
 		} else {
 			m.reports = append(m.reports, m.makeReport())
 		}
@@ -143,10 +182,13 @@ func (m *GraphToStar) Send(ctx *sim.Context) {
 			ctx.Send(m.target, gtsQuery{})
 		}
 	case 3: // query replies; merging members register with the winner
-		for _, q := range m.queriers {
-			ctx.Send(q, m.makeReply())
+		if len(m.queriers) > 0 {
+			m.replyOut = m.makeReply()
+			for _, q := range m.queriers {
+				ctx.Send(q, &m.replyOut)
+			}
+			m.queriers = m.queriers[:0]
 		}
-		m.queriers = nil
 		if m.mode == ModeMerging {
 			// Both the dying leader (over its leader link) and its
 			// followers (over the star edges activated at step 2)
@@ -158,15 +200,18 @@ func (m *GraphToStar) Send(ctx *sim.Context) {
 			ctx.Send(m.selTarget, gtsLeaderLink{})
 		}
 	case 5: // link replies
-		for _, l := range m.linkers {
-			ctx.Send(l, gtsSelState{Paired: m.isPairable()})
+		if len(m.linkers) > 0 {
+			m.selOut = gtsSelState{Paired: m.isPairable()}
+			for _, l := range m.linkers {
+				ctx.Send(l, &m.selOut)
+			}
 		}
 	case 7: // NEXTMODE broadcast to followers
 		if m.role == RoleLeader {
 			m.decideNextMode()
-			nm := gtsNextMode{Mode: m.mode, Target: m.target}
-			for f := range m.followers {
-				ctx.Send(f, nm)
+			m.nextOut = gtsNextMode{Mode: m.mode, Target: m.target}
+			for _, f := range m.followers {
+				ctx.Send(f, &m.nextOut)
 			}
 		}
 	}
@@ -182,15 +227,15 @@ func (m *GraphToStar) Receive(ctx *sim.Context, inbox []sim.Message) {
 		}
 		m.resetPhase()
 		for _, msg := range inbox {
-			if ann, ok := msg.Payload.(Announce); ok && ann.Leader != m.leader {
-				m.foreign[msg.From] = ann
+			if ann, ok := msg.Payload.(*Announce); ok && ann.Leader != m.leader {
+				m.foreign[msg.From] = *ann
 			}
 		}
 	case 1:
 		if m.role == RoleLeader {
 			for _, msg := range inbox {
-				if rep, ok := msg.Payload.(gtsReport); ok {
-					m.reports = append(m.reports, rep)
+				if rep, ok := msg.Payload.(*gtsReport); ok {
+					m.reports = append(m.reports, *rep)
 				}
 			}
 		}
@@ -208,11 +253,13 @@ func (m *GraphToStar) Receive(ctx *sim.Context, inbox []sim.Message) {
 			ctx.Activate(m.target)
 		}
 	case 3:
+		joined := false
 		for _, msg := range inbox {
 			switch pl := msg.Payload.(type) {
 			case gtsJoined:
-				m.followers[msg.From] = true
-			case gtsReply:
+				m.followers = append(m.followers, msg.From)
+				joined = true
+			case *gtsReply:
 				if m.role == RoleLeader && m.mode == ModePulling && msg.From == m.target {
 					if pl.Root {
 						m.replyRootSeen = true
@@ -222,6 +269,12 @@ func (m *GraphToStar) Receive(ctx *sim.Context, inbox []sim.Message) {
 					}
 				}
 			}
+		}
+		if joined {
+			// Restore the sorted invariant (new joiners arrive in sender
+			// order, not globally sorted) and drop any duplicates.
+			slices.Sort(m.followers)
+			m.followers = slices.Compact(m.followers)
 		}
 		if m.role == RoleLeader && m.selecting && m.hop1 != m.selTarget {
 			// Second hop: connect to the target committee's leader over
@@ -251,7 +304,7 @@ func (m *GraphToStar) Receive(ctx *sim.Context, inbox []sim.Message) {
 		}
 	case 5:
 		for _, msg := range inbox {
-			if st, ok := msg.Payload.(gtsSelState); ok && msg.From == m.selTarget {
+			if st, ok := msg.Payload.(*gtsSelState); ok && msg.From == m.selTarget {
 				m.paired = st.Paired
 				m.replySeen = true
 			}
@@ -262,7 +315,7 @@ func (m *GraphToStar) Receive(ctx *sim.Context, inbox []sim.Message) {
 	case 7:
 		if m.role == RoleFollower {
 			for _, msg := range inbox {
-				if nm, ok := msg.Payload.(gtsNextMode); ok && msg.From == m.leader {
+				if nm, ok := msg.Payload.(*gtsNextMode); ok && msg.From == m.leader {
 					m.mode = nm.Mode
 					m.target = nm.Target
 				}
@@ -341,6 +394,12 @@ func (m *GraphToStar) makeReply() gtsReply {
 	}
 }
 
+// isFollower reports membership in the sorted follower list.
+func (m *GraphToStar) isFollower(v graph.ID) bool {
+	_, ok := slices.BinarySearch(m.followers, v)
+	return ok
+}
+
 // isPairable reports whether a selector of this committee should merge
 // (we are a root: not selecting, not dying) rather than pull.
 func (m *GraphToStar) isPairable() bool {
@@ -372,14 +431,15 @@ func (m *GraphToStar) pullHop(ctx *sim.Context) {
 // terminate executes the Termination mode (§3): drop every edge except
 // the star edges, declare statuses, halt.
 func (m *GraphToStar) terminate(ctx *sim.Context) {
-	for _, v := range ctx.Neighbors() {
+	ctx.EachNeighbor(func(v graph.ID) bool {
 		switch {
 		case m.role == RoleFollower && v == m.leader:
-		case m.role == RoleLeader && m.followers[v]:
+		case m.role == RoleLeader && m.isFollower(v):
 		default:
 			ctx.Deactivate(v)
 		}
-	}
+		return true
+	})
 	if m.role == RoleLeader {
 		ctx.SetStatus(sim.StatusLeader)
 	} else {
@@ -421,7 +481,7 @@ func (m *GraphToStar) decideNextMode() {
 		// the winner. Its erstwhile followers already moved.
 		m.role = RoleFollower
 		m.leader = m.target
-		m.followers = make(map[graph.ID]bool)
+		m.followers = m.followers[:0]
 	case ModePulling:
 		// mode may have been flipped to merging by pullHop; nothing to
 		// do otherwise - the next phase queries the new target.
@@ -441,8 +501,8 @@ func (m *GraphToStar) resetPhase() {
 	m.paired = false
 	m.replySeen = false
 	m.noForeign = false
-	m.queriers = nil
-	m.linkers = nil
+	m.queriers = m.queriers[:0]
+	m.linkers = m.linkers[:0]
 	m.replyRootSeen = false
 	m.replyFollowSeen = false
 	m.replyNext = 0

@@ -1,0 +1,40 @@
+//go:build !race
+
+package expt
+
+import (
+	"testing"
+
+	"adnet/internal/sim"
+)
+
+// TestStarSteadyStateZeroAllocs pins the PR's headline property: after
+// warm-up, a graph-to-star run on a reused Runner — workload
+// generation, machine recycling, the full round loop, intent
+// application, observer fold and post-run analysis — performs zero
+// heap allocations. Excluded under -race because the detector's
+// instrumentation allocates. Workloads cover both bench families.
+func TestStarSteadyStateZeroAllocs(t *testing.T) {
+	for _, workload := range []string{"line", "ring"} {
+		r := NewRunner()
+		obs := sim.WithRunObserver(func(sim.RunSummary) {})
+		req := Request{Algorithm: AlgoStar, Workload: workload, N: 1024, Seed: 1,
+			SimOpts: []sim.Option{obs}}
+		// Two warm-up runs: the first grows every buffer, the second
+		// verifies nothing regrows before measurement starts.
+		for i := 0; i < 2; i++ {
+			if _, err := r.Execute(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, err := r.Execute(req); err != nil {
+				t.Fatal(err)
+			}
+		})
+		r.Close()
+		if allocs != 0 {
+			t.Errorf("workload %s: steady-state allocs per run = %v, want 0", workload, allocs)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"adnet/internal/baseline"
 	"adnet/internal/core"
 	"adnet/internal/sim"
 )
@@ -54,36 +55,65 @@ func TestOutcomeDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
-// TestTraceDeterministicAcrossParallelism pins the stronger property:
-// the full per-round activation/deactivation trace — not just the
-// aggregate outcome — is identical across worker counts.
+// TestTraceDeterministicAcrossParallelism pins the stronger property
+// for every distributed algorithm: the full per-round activation/
+// deactivation trace — not just the aggregate outcome — plus the final
+// metrics and statuses are identical across worker counts. This is the
+// PR 2 byte-identical-trace invariant carried through the parallel
+// intent-collection and batch-apply path.
 func TestTraceDeterministicAcrossParallelism(t *testing.T) {
 	t.Parallel()
-	g, err := Workload("random", 128, 77)
-	if err != nil {
-		t.Fatal(err)
+	const n = 96
+	cases := []struct {
+		name    string
+		factory sim.Factory
+		opts    []sim.Option
+	}{
+		{AlgoStar, core.NewGraphToStarFactory(), nil},
+		{AlgoWreath, core.NewGraphToWreathFactory(),
+			[]sim.Option{sim.WithMaxRounds(core.WreathMaxRounds(n, core.WreathBranching(n, false)))}},
+		{AlgoThinWreath, core.NewGraphToThinWreathFactory(),
+			[]sim.Option{sim.WithMaxRounds(core.WreathMaxRounds(n, core.WreathBranching(n, true)))}},
+		{AlgoClique, baseline.NewCliqueFactory(), nil},
+		{AlgoFlood, baseline.NewFloodFactory(), nil},
 	}
-	run := func(workers int) *sim.Result {
-		res, err := sim.Run(g, core.NewGraphToStarFactory(),
-			sim.WithParallelism(workers), sim.WithTrace())
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		return res
-	}
-	base := run(1)
-	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
-		res := run(w)
-		if res.Rounds != base.Rounds {
-			t.Fatalf("workers=%d: rounds %d vs %d", w, res.Rounds, base.Rounds)
-		}
-		for i := 1; i <= base.Rounds; i++ {
-			wantA, wantD, _ := base.History.TraceRound(i)
-			gotA, gotD, ok := res.History.TraceRound(i)
-			if !ok || !reflect.DeepEqual(wantA, gotA) || !reflect.DeepEqual(wantD, gotD) {
-				t.Fatalf("workers=%d: trace diverged at round %d", w, i)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			g, err := Workload("random", n, 77)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			run := func(workers int) *sim.Result {
+				opts := append([]sim.Option{sim.WithParallelism(workers), sim.WithTrace()}, tc.opts...)
+				res, err := sim.Run(g, tc.factory, opts...)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res
+			}
+			base := run(1)
+			for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+				res := run(w)
+				if res.Rounds != base.Rounds {
+					t.Fatalf("workers=%d: rounds %d vs %d", w, res.Rounds, base.Rounds)
+				}
+				if res.Metrics != base.Metrics {
+					t.Fatalf("workers=%d: metrics diverged:\n%+v\nvs\n%+v", w, res.Metrics, base.Metrics)
+				}
+				if !reflect.DeepEqual(res.Statuses, base.Statuses) {
+					t.Fatalf("workers=%d: statuses diverged", w)
+				}
+				for i := 1; i <= base.Rounds; i++ {
+					wantA, wantD, _ := base.History.TraceRound(i)
+					gotA, gotD, ok := res.History.TraceRound(i)
+					if !ok || !reflect.DeepEqual(wantA, gotA) || !reflect.DeepEqual(wantD, gotD) {
+						t.Fatalf("workers=%d: trace diverged at round %d", w, i)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -71,6 +71,21 @@ func Execute(req Request) (Outcome, error) {
 	return RunAlgorithmOpts(req.Algorithm, g, req.SimOpts...)
 }
 
+// Shared machine factories. The factories are stateless (all per-run
+// state lives in the machines they build), so one instance serves
+// every engine; caching them keeps runAlgorithm's steady state free of
+// per-call closure allocations. starRecycleOpt likewise: graph-to-star
+// machines implement sim.Recycler, so repeated star runs on one engine
+// restore machines in place instead of rebuilding n of them.
+var (
+	starFactory       = core.NewGraphToStarFactory()
+	wreathFactory     = core.NewGraphToWreathFactory()
+	thinWreathFactory = core.NewGraphToThinWreathFactory()
+	cliqueFactory     = baseline.NewCliqueFactory()
+	floodFactory      = baseline.NewFloodFactory()
+	starRecycleOpt    = sim.WithMachineRecycling(AlgoStar)
+)
+
 // RunAlgorithm executes the named algorithm on a copy of gs and
 // returns the unified outcome.
 func RunAlgorithm(name string, gs *graph.Graph) (Outcome, error) {
@@ -83,12 +98,14 @@ func RunAlgorithm(name string, gs *graph.Graph) (Outcome, error) {
 func RunAlgorithmOpts(name string, gs *graph.Graph, extra ...sim.Option) (Outcome, error) {
 	eng := sim.NewEngine()
 	defer eng.Close()
-	return runAlgorithm(eng, name, gs, extra...)
+	var sc graph.BFSScratch
+	return runAlgorithm(eng, &sc, name, gs, extra...)
 }
 
 // runAlgorithm is the shared engine-backed execution path behind
-// RunAlgorithmOpts, Runner.RunAlgorithm and ExecuteSweep.
-func runAlgorithm(eng *sim.Engine, name string, gs *graph.Graph, extra ...sim.Option) (Outcome, error) {
+// RunAlgorithmOpts, Runner.RunAlgorithm and ExecuteSweep. sc is the
+// caller's BFS scratch for the post-run diameter/depth analysis.
+func runAlgorithm(eng *sim.Engine, sc *graph.BFSScratch, name string, gs *graph.Graph, extra ...sim.Option) (Outcome, error) {
 	known := false
 	for _, a := range Algorithms() {
 		if a == name {
@@ -109,7 +126,7 @@ func runAlgorithm(eng *sim.Engine, name string, gs *graph.Graph, extra ...sim.Op
 		if err != nil {
 			return Outcome{}, err
 		}
-		final := res.History.CurrentClone()
+		final := res.History.CurrentView()
 		return Outcome{
 			N:                  n,
 			Rounds:             res.Metrics.Rounds,
@@ -117,27 +134,32 @@ func runAlgorithm(eng *sim.Engine, name string, gs *graph.Graph, extra ...sim.Op
 			TotalActivations:   res.Metrics.TotalActivations,
 			MaxActivatedEdges:  res.Metrics.MaxActivatedEdges,
 			MaxActivatedDegree: res.Metrics.MaxActivatedDegree,
-			FinalDiameter:      final.ApproxDiameter(),
+			FinalDiameter:      sc.ApproxDiameter(final),
 			FinalDepth:         res.Depth,
 			LeaderOK:           true, // the centralized controller knows u_max
 		}, nil
 	}
 
 	var factory sim.Factory
-	var opts []sim.Option
+	// optBuf keeps the option list off the heap: sim options are
+	// consumed inside Reset and never retained, so the backing array
+	// can live on this frame.
+	var optBuf [4]sim.Option
+	opts := optBuf[:0]
 	switch name {
 	case AlgoStar:
-		factory = core.NewGraphToStarFactory()
+		factory = starFactory
+		opts = append(opts, starRecycleOpt)
 	case AlgoWreath:
-		factory = core.NewGraphToWreathFactory()
+		factory = wreathFactory
 		opts = append(opts, sim.WithMaxRounds(core.WreathMaxRounds(n, core.WreathBranching(n, false))))
 	case AlgoThinWreath:
-		factory = core.NewGraphToThinWreathFactory()
+		factory = thinWreathFactory
 		opts = append(opts, sim.WithMaxRounds(core.WreathMaxRounds(n, core.WreathBranching(n, true))))
 	case AlgoClique:
-		factory = baseline.NewCliqueFactory()
+		factory = cliqueFactory
 	case AlgoFlood:
-		factory = baseline.NewFloodFactory()
+		factory = floodFactory
 	default:
 		return Outcome{}, fmt.Errorf("expt: unknown algorithm %q", name)
 	}
@@ -149,7 +171,10 @@ func runAlgorithm(eng *sim.Engine, name string, gs *graph.Graph, extra ...sim.Op
 	if err != nil {
 		return Outcome{}, fmt.Errorf("expt: %s on n=%d: %w", name, n, err)
 	}
-	final := res.History.CurrentClone()
+	// Post-run analysis reads the history's live snapshot (valid until
+	// the engine's next Reset) through reusable BFS scratch instead of
+	// cloning the final graph.
+	final := res.History.CurrentView()
 	out := Outcome{
 		N:                  n,
 		Rounds:             res.Rounds,
@@ -158,11 +183,11 @@ func runAlgorithm(eng *sim.Engine, name string, gs *graph.Graph, extra ...sim.Op
 		MaxActivatedEdges:  res.Metrics.MaxActivatedEdges,
 		MaxActivatedDegree: res.Metrics.MaxActivatedDegree,
 		TotalMessages:      res.TotalMessages,
-		FinalDiameter:      final.ApproxDiameter(),
+		FinalDiameter:      sc.ApproxDiameter(final),
 		LeaderOK:           tasks.VerifyLeaderElection(res, umax) == nil,
 	}
 	if final.HasNode(umax) {
-		out.FinalDepth = final.Eccentricity(umax)
+		out.FinalDepth = sc.Eccentricity(final, umax)
 	}
 	return out, nil
 }
@@ -187,12 +212,18 @@ func Workload(name string, n int, seed int64) (*graph.Graph, error) {
 // generation only on growth; the generated graph is identical to
 // Workload's for equal parameters.
 func WorkloadInto(dst, scratch *graph.Graph, name string, n int, seed int64) (*graph.Graph, error) {
-	rng := rand.New(rand.NewSource(seed))
+	// The deterministic families skip the rng so their cells allocate
+	// nothing per call.
 	switch name {
 	case "line":
 		return graph.LineInto(dst, n), nil
 	case "ring", "increasing-ring":
 		return graph.IncreasingRingInto(dst, n), nil
+	case "star":
+		return graph.StarInto(dst, n), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
 	case "random-tree":
 		return graph.RandomTreeInto(dst, n, rng), nil
 	case "bounded-degree":
@@ -202,8 +233,6 @@ func WorkloadInto(dst, scratch *graph.Graph, name string, n int, seed int64) (*g
 			scratch = graph.New()
 		}
 		return graph.PermuteIDsInto(dst, graph.RandomConnectedInto(scratch, n, n, rng), rng), nil
-	case "star":
-		return graph.StarInto(dst, n), nil
 	default:
 		return nil, fmt.Errorf("expt: unknown workload %q", name)
 	}

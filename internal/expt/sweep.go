@@ -27,6 +27,9 @@ type Runner struct {
 	// engine copies the initial graph canonically at Reset and never
 	// retains the caller's graph.
 	wg, wscratch *graph.Graph
+	// bfs is the post-run analysis scratch (diameter/depth), reused so
+	// steady-state Execute calls stay allocation-free.
+	bfs graph.BFSScratch
 }
 
 // NewRunner returns a fresh Runner. Close it to release the engine's
@@ -53,7 +56,7 @@ func (r *Runner) Execute(req Request) (Outcome, error) {
 // Runner's engine, with extra simulation options appended after the
 // algorithm's defaults.
 func (r *Runner) RunAlgorithm(name string, gs *graph.Graph, extra ...sim.Option) (Outcome, error) {
-	return runAlgorithm(r.eng, name, gs, extra...)
+	return runAlgorithm(r.eng, &r.bfs, name, gs, extra...)
 }
 
 // Cell is one point of a sweep grid: a deterministic run request.

@@ -1,23 +1,57 @@
 package graph
 
-import "sort"
+import "slices"
+
+// BFSScratch holds reusable breadth-first-search working memory. The
+// zero value is ready to use; each call resizes the buffers to the
+// graph at hand and retains them, so repeated analyses (the engine's
+// per-run connectivity check, the experiment layer's diameter checks)
+// are allocation-free in steady state. A scratch is owned by one
+// goroutine; concurrent analyses need one scratch each.
+type BFSScratch struct {
+	dist  []int
+	queue []int
+}
 
 // bfsSlots runs a breadth-first search from the slot src and returns
 // per-slot distances (-1 for unreachable) plus the number of reached
-// slots. It works entirely on dense indices, so the only per-call
-// allocations are the two result-sized slices.
-func (g *Graph) bfsSlots(src int) (dist []int, reached int) {
-	dist = make([]int, len(g.ids))
+// slots. The returned slice aliases sc.dist and is valid until the
+// next call on sc.
+func (sc *BFSScratch) bfsSlots(g *Graph, src int) (dist []int, reached int) {
+	n := len(g.ids)
+	if cap(sc.dist) < n {
+		sc.dist = make([]int, n)
+	}
+	dist = sc.dist[:n]
 	for i := range dist {
 		dist[i] = -1
 	}
-	queue := make([]int, 0, len(g.ids))
+	if cap(sc.queue) < n {
+		sc.queue = make([]int, 0, n)
+	}
+	queue := sc.queue[:0]
 	dist[src] = 0
 	queue = append(queue, src)
 	reached = 1
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		du := dist[u]
+		if g.engaged(u) {
+			for w, word := range g.bits[u] {
+				base := ID(w << 6)
+				for word != 0 {
+					v := base + ID(trailingZeros64(word))
+					word &= word - 1
+					sv := g.index[v]
+					if dist[sv] < 0 {
+						dist[sv] = du + 1
+						queue = append(queue, sv)
+						reached++
+					}
+				}
+			}
+			continue
+		}
 		for _, v := range g.adj[u] {
 			sv := g.index[v]
 			if dist[sv] < 0 {
@@ -27,7 +61,61 @@ func (g *Graph) bfsSlots(src int) (dist []int, reached int) {
 			}
 		}
 	}
+	sc.queue = queue
 	return dist, reached
+}
+
+// IsConnected is Graph.IsConnected using sc's buffers.
+func (sc *BFSScratch) IsConnected(g *Graph) bool {
+	if len(g.ids) == 0 {
+		return true
+	}
+	_, reached := sc.bfsSlots(g, 0)
+	return reached == len(g.ids)
+}
+
+// Eccentricity is Graph.Eccentricity using sc's buffers.
+func (sc *BFSScratch) Eccentricity(g *Graph, u ID) int {
+	s, ok := g.index[u]
+	if !ok {
+		return -1
+	}
+	dist, reached := sc.bfsSlots(g, s)
+	if reached != len(g.ids) {
+		return -1
+	}
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// ApproxDiameter is Graph.ApproxDiameter using sc's buffers.
+func (sc *BFSScratch) ApproxDiameter(g *Graph) int {
+	if len(g.ids) == 0 {
+		return 0
+	}
+	dist, reached := sc.bfsSlots(g, 0)
+	if reached != len(g.ids) {
+		return -1
+	}
+	far, farD := g.ids[0], 0
+	for slot, d := range dist {
+		v := g.ids[slot]
+		if d > farD || (d == farD && v < far) {
+			far, farD = v, d
+		}
+	}
+	return sc.Eccentricity(g, far)
+}
+
+// bfsSlots without a caller-provided scratch allocates a throwaway one.
+func (g *Graph) bfsSlots(src int) (dist []int, reached int) {
+	var sc BFSScratch
+	return sc.bfsSlots(g, src)
 }
 
 // BFS runs a breadth-first search from src and returns the distance of
@@ -240,5 +328,5 @@ func (g *Graph) EulerTour(root ID) ([]ID, bool) {
 }
 
 func sortIDs(ids []ID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 }

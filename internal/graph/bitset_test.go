@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// newBitsetProneGraph returns a graph whose slots promote to bitsets
+// at degree 3, so tiny randomized graphs exercise both representations
+// and the transitions between them.
+func newBitsetProneGraph() *Graph {
+	g := New()
+	g.minDeg = 3
+	return g
+}
+
+func (g *Graph) anyEngaged() bool {
+	for s := range g.bdeg {
+		if g.engaged(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBitsetDifferential drives the hybrid Graph — with the promotion
+// threshold forced low enough that slots flip to bitsets and back
+// constantly — against the map reference model over thousands of
+// randomized mutation sequences, asserting observational equality of
+// HasEdge, Degree, Neighbors (and its allocation-free variants),
+// HaveCommonNeighbor and Edges canonical order at every checkpoint.
+func TestBitsetDifferential(t *testing.T) {
+	t.Parallel()
+	const (
+		seeds = 300
+		steps = 400
+	)
+	engagedSequences := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		idSpace := ID(rng.Intn(48) + 8)
+		g := newBitsetProneGraph()
+		ref := newMapGraph()
+		sawEngaged := false
+		for step := 0; step < steps; step++ {
+			u := ID(rng.Intn(int(idSpace)))
+			v := ID(rng.Intn(int(idSpace)))
+			switch rng.Intn(10) {
+			case 0:
+				g.AddNode(u)
+				ref.addNode(u)
+			case 1, 2, 3, 4, 5:
+				err := g.AddEdge(u, v)
+				ok := ref.addEdge(u, v)
+				if (err == nil) != ok {
+					t.Fatalf("seed %d step %d: AddEdge(%d,%d) err=%v, ref ok=%v", seed, step, u, v, err, ok)
+				}
+			case 6, 7:
+				if got, want := g.RemoveEdge(u, v), ref.removeEdge(u, v); got != want {
+					t.Fatalf("seed %d step %d: RemoveEdge(%d,%d) = %v, want %v", seed, step, u, v, got, want)
+				}
+			case 8:
+				if got, want := g.HasEdge(u, v), ref.hasEdge(u, v); got != want {
+					t.Fatalf("seed %d step %d: HasEdge(%d,%d) = %v, want %v", seed, step, u, v, got, want)
+				}
+			case 9:
+				if got, want := g.Degree(u), len(ref.adj[u]); got != want {
+					t.Fatalf("seed %d step %d: Degree(%d) = %d, want %d", seed, step, u, got, want)
+				}
+			}
+			if g.NumEdges() != ref.numEdges() {
+				t.Fatalf("seed %d step %d: NumEdges = %d, want %d", seed, step, g.NumEdges(), ref.numEdges())
+			}
+			sawEngaged = sawEngaged || g.anyEngaged()
+			// Periodic deep checkpoint; every step would be quadratic.
+			if step%37 != 0 {
+				continue
+			}
+			checkGraphMatchesModel(t, g, ref, seed, step)
+		}
+		checkGraphMatchesModel(t, g, ref, seed, steps)
+		if sawEngaged {
+			engagedSequences++
+		}
+	}
+	// The point of the test is the hybrid paths: almost every sequence
+	// must actually have promoted at least one slot.
+	if engagedSequences < seeds*9/10 {
+		t.Fatalf("only %d/%d sequences engaged the bitset representation", engagedSequences, seeds)
+	}
+}
+
+// equalIDs compares slice contents, treating nil and empty alike.
+func equalIDs(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkGraphMatchesModel compares every observable accessor of g with
+// the reference model.
+func checkGraphMatchesModel(t *testing.T, g *Graph, ref *mapGraph, seed int64, step int) {
+	t.Helper()
+	if got, want := g.Nodes(), ref.nodes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("seed %d step %d: Nodes() = %v, want %v", seed, step, got, want)
+	}
+	if got, want := g.MaxDegree(), ref.maxDegree(); got != want {
+		t.Fatalf("seed %d step %d: MaxDegree() = %d, want %d", seed, step, got, want)
+	}
+	for _, u := range ref.nodes() {
+		want := ref.neighbors(u)
+		if got := g.Neighbors(u); !equalIDs(got, want) {
+			t.Fatalf("seed %d step %d: Neighbors(%d) = %v, want %v", seed, step, u, got, want)
+		}
+		if got := g.NeighborsInto(u, nil); !equalIDs(got, want) {
+			t.Fatalf("seed %d step %d: NeighborsInto(%d) = %v, want %v", seed, step, u, got, want)
+		}
+		if view := g.NeighborsView(u); !equalIDs(view, want) {
+			t.Fatalf("seed %d step %d: NeighborsView(%d) = %v, want %v", seed, step, u, view, want)
+		}
+		each := make([]ID, 0, len(want))
+		g.EachNeighbor(u, func(v ID) bool { each = append(each, v); return true })
+		if !equalIDs(each, want) {
+			t.Fatalf("seed %d step %d: EachNeighbor(%d) = %v, want %v", seed, step, u, each, want)
+		}
+		if got, want := g.Degree(u), len(ref.adj[u]); got != want {
+			t.Fatalf("seed %d step %d: Degree(%d) = %d, want %d", seed, step, u, got, want)
+		}
+		// Slot-addressed probes agree with the ID-addressed ones.
+		su, _ := g.Slot(u)
+		for _, v := range ref.nodes() {
+			sv, _ := g.Slot(v)
+			if got, want := g.HasEdgeSlots(su, sv), ref.hasEdge(u, v); got != want {
+				t.Fatalf("seed %d step %d: HasEdgeSlots(%d,%d) = %v, want %v", seed, step, u, v, got, want)
+			}
+		}
+	}
+	// Edges in canonical lexicographic order.
+	edges := g.Edges()
+	if len(edges) != ref.numEdges() {
+		t.Fatalf("seed %d step %d: Edges() len = %d, want %d", seed, step, len(edges), ref.numEdges())
+	}
+	for i, e := range edges {
+		if !ref.hasEdge(e.A, e.B) || e.A >= e.B {
+			t.Fatalf("seed %d step %d: bad edge %v", seed, step, e)
+		}
+		if i > 0 {
+			p := edges[i-1]
+			if p.A > e.A || (p.A == e.A && p.B >= e.B) {
+				t.Fatalf("seed %d step %d: Edges() not sorted at %d: %v, %v", seed, step, i, p, e)
+			}
+		}
+	}
+	// HaveCommonNeighbor over all pairs (covers bitset×bitset,
+	// bitset×slice and slice×slice combinations as slots flip).
+	nodes := ref.nodes()
+	for _, u := range nodes {
+		for _, v := range nodes {
+			want := false
+			for w := range ref.adj[u] {
+				if _, ok := ref.adj[v][w]; ok {
+					want = true
+					break
+				}
+			}
+			if got := g.HaveCommonNeighbor(u, v); got != want {
+				t.Fatalf("seed %d step %d: HaveCommonNeighbor(%d,%d) = %v, want %v", seed, step, u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestBitsetThresholdCrossing grows one hub past the promotion
+// threshold, checks the representation actually flipped, shrinks it
+// back through the hysteresis band until it demotes, and asserts every
+// accessor stays correct across both crossings — including a second
+// promotion to verify backing arrays survive the round trip.
+func TestBitsetThresholdCrossing(t *testing.T) {
+	t.Parallel()
+	g := New()
+	g.minDeg = 8
+	const n = 64
+	hub := ID(0)
+	for i := ID(1); i < n; i++ {
+		g.MustAddEdge(hub, i)
+	}
+	slot, _ := g.Slot(hub)
+	if !g.engaged(slot) {
+		t.Fatalf("hub with degree %d not promoted (threshold %d)", g.Degree(hub), g.promoteThreshold())
+	}
+	if got := g.Degree(hub); got != n-1 {
+		t.Fatalf("Degree(hub) = %d, want %d", got, n-1)
+	}
+	if !g.HasEdge(hub, 5) || g.HasEdge(5, 7) {
+		t.Fatal("bitset membership wrong after promotion")
+	}
+	if !g.HaveCommonNeighbor(5, 7) {
+		t.Fatal("spokes must share the hub")
+	}
+	// Remove spokes one at a time; correctness must hold through the
+	// demotion point, and the hub must eventually be slice-backed.
+	for i := ID(1); i < n; i++ {
+		if !g.RemoveEdge(hub, i) {
+			t.Fatalf("RemoveEdge(hub,%d) = false", i)
+		}
+		wantDeg := int(n - 1 - i)
+		if got := g.Degree(hub); got != wantDeg {
+			t.Fatalf("after removing %d: Degree(hub) = %d, want %d", i, got, wantDeg)
+		}
+		if g.HasEdge(hub, i) {
+			t.Fatalf("edge {hub,%d} still present after removal", i)
+		}
+		if wantDeg > 0 && !g.HasEdge(hub, n-1) {
+			t.Fatalf("edge {hub,%d} lost at degree %d", n-1, wantDeg)
+		}
+		nbrs := g.Neighbors(hub)
+		if len(nbrs) != wantDeg {
+			t.Fatalf("Neighbors(hub) len = %d, want %d", len(nbrs), wantDeg)
+		}
+		for j := 1; j < len(nbrs); j++ {
+			if nbrs[j-1] >= nbrs[j] {
+				t.Fatalf("Neighbors(hub) unsorted: %v", nbrs)
+			}
+		}
+	}
+	if g.engaged(slot) {
+		t.Fatal("empty hub still bitset-backed: demotion never happened")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	// Second promotion reuses the retained bitset backing array.
+	for i := ID(1); i < n; i++ {
+		g.MustAddEdge(hub, i)
+	}
+	if !g.engaged(slot) {
+		t.Fatal("hub not re-promoted")
+	}
+	if got := g.Degree(hub); got != n-1 {
+		t.Fatalf("after re-promotion Degree(hub) = %d, want %d", got, n-1)
+	}
+}
+
+// TestBitsetCanonicalCopySliceBacked pins the CopyCanonicalFrom
+// contract the engine depends on: copies of graphs with bitset-backed
+// slots come out slice-backed (NeighborsView on initial snapshots must
+// stay zero-copy) and edge-identical.
+func TestBitsetCanonicalCopySliceBacked(t *testing.T) {
+	t.Parallel()
+	src := New()
+	src.minDeg = 4
+	const n = 32
+	for i := ID(1); i < n; i++ {
+		src.MustAddEdge(0, i)
+		if i > 1 {
+			src.MustAddEdge(i-1, i)
+		}
+	}
+	if !src.anyEngaged() {
+		t.Fatal("source graph never engaged a bitset")
+	}
+	dst := New()
+	dst.CopyCanonicalFrom(src)
+	if dst.anyEngaged() {
+		t.Fatal("canonical copy has bitset-backed slots")
+	}
+	if !reflect.DeepEqual(dst.Edges(), src.Edges()) {
+		t.Fatal("canonical copy edges differ from source")
+	}
+	for i := ID(0); i < n; i++ {
+		if !reflect.DeepEqual(dst.Neighbors(i), src.Neighbors(i)) {
+			t.Fatalf("Neighbors(%d) differ between copy and source", i)
+		}
+	}
+	// Slots of the canonical copy are ascending-ID ranks.
+	for i := 0; i < dst.NumNodes(); i++ {
+		if dst.IDAt(i) != ID(i) {
+			t.Fatalf("canonical slot %d holds ID %d", i, dst.IDAt(i))
+		}
+	}
+}

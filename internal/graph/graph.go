@@ -9,18 +9,25 @@
 // the only thing they ever compare.
 //
 // Representation (see DESIGN.md): nodes are interned into dense slots
-// (ID → int) and adjacency is stored as sorted []ID slices per slot,
-// with the edge count maintained incrementally. This keeps the round
-// loop of internal/sim allocation free: NeighborsInto and EachNeighbor
-// expose the sorted adjacency without copying-and-sorting maps, and
-// NumEdges is O(1). Nodes are never removed, so MaxID is incremental
-// too. The public semantics are identical to the original map-based
-// implementation (see TestDenseMatchesMapModel).
+// (ID → int) and adjacency is stored per slot in one of two forms. A
+// slot starts as a sorted []ID slice; once its degree crosses
+// max(bitsetMinDeg, words(maxID+1)) — the point where an ID-indexed
+// bitset is both faster and no larger than the slice — the slot is
+// promoted to a bitset, making HasEdge, AddEdge and RemoveEdge O(1)
+// and HaveCommonNeighbor a word-wise AND. This is what keeps the dense
+// star phases of internal/core subquadratic at n = 10^6: the star
+// center's adjacency would otherwise pay an O(deg) memmove per edge
+// flip. Slots demote back to slices (with hysteresis) as they thin
+// out, and both representations iterate neighbors in ascending ID
+// order, so the public semantics are identical to the original
+// map-based implementation (see TestDenseMatchesMapModel and the
+// randomized differential tests in bitset_test.go). Nodes are never
+// removed, so MaxID is incremental and NumEdges is O(1).
 package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // ID identifies a node and serves as its UID. IDs must be non-negative
@@ -61,15 +68,26 @@ func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.A, e.B) }
 type Graph struct {
 	index map[ID]int // ID → dense slot, assigned in insertion order
 	ids   []ID       // slot → ID
-	adj   [][]ID     // slot → neighbor IDs, sorted ascending
+	adj   [][]ID     // slot → neighbor IDs, sorted ascending (slice-backed slots)
+	bits  [][]uint64 // slot → neighbor bitset indexed by ID (bitset-backed slots)
+	bdeg  []int      // slot → degree when bitset-backed, -1 when slice-backed
 	edges int        // undirected edge count, maintained incrementally
 	maxID ID         // largest ID ever added (-1 when empty); nodes are never removed
+
+	// minDeg overrides bitsetMinDeg when positive. It exists for tests
+	// that need the bitset representation to engage on tiny graphs; it
+	// survives Reset (configuration, not content) and is propagated by
+	// Clone and CopyCanonicalFrom.
+	minDeg int
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{index: make(map[ID]int), maxID: -1}
 }
+
+// engaged reports whether slot s is bitset-backed.
+func (g *Graph) engaged(s int) bool { return s < len(g.bdeg) && g.bdeg[s] >= 0 }
 
 // AddNode inserts an isolated node. Adding an existing node is a no-op.
 func (g *Graph) AddNode(u ID) {
@@ -85,6 +103,13 @@ func (g *Graph) AddNode(u ID) {
 	} else {
 		g.adj = append(g.adj, nil)
 	}
+	if n := len(g.bits); n < cap(g.bits) {
+		g.bits = g.bits[:n+1]
+		g.bits[n] = g.bits[n][:0]
+	} else {
+		g.bits = append(g.bits, nil)
+	}
+	g.bdeg = append(g.bdeg, -1)
 	if u > g.maxID {
 		g.maxID = u
 	}
@@ -92,15 +117,17 @@ func (g *Graph) AddNode(u ID) {
 
 // Reset clears g to the empty graph while retaining allocated
 // capacity: the slot index, the ID table and every per-slot adjacency
-// list keep their backing arrays, so the next build into the same
-// receiver allocates only on growth. Together with the *Into generator
-// variants this makes repeated workload generation allocation-light in
-// steady state. Like any mutation, Reset invalidates NeighborsView
-// results.
+// list (slice or bitset) keep their backing arrays, so the next build
+// into the same receiver allocates only on growth. Together with the
+// *Into generator variants this makes repeated workload generation
+// allocation-light in steady state. Like any mutation, Reset
+// invalidates NeighborsView results.
 func (g *Graph) Reset() {
 	clear(g.index)
 	g.ids = g.ids[:0]
 	g.adj = g.adj[:0]
+	g.bits = g.bits[:0]
+	g.bdeg = g.bdeg[:0]
 	g.edges = 0
 	g.maxID = -1
 }
@@ -121,13 +148,110 @@ func (g *Graph) AddEdge(u, v ID) error {
 	g.AddNode(u)
 	g.AddNode(v)
 	su, sv := g.index[u], g.index[v]
-	var inserted bool
-	g.adj[su], inserted = insertSorted(g.adj[su], v)
-	if inserted {
-		g.adj[sv], _ = insertSorted(g.adj[sv], u)
+	if g.insertNeighbor(su, v) {
+		g.insertNeighbor(sv, u)
 		g.edges++
+		g.maybePromote(su)
+		g.maybePromote(sv)
 	}
 	return nil
+}
+
+// insertNeighbor adds v to slot s's neighbor set, reporting whether it
+// was not already present.
+func (g *Graph) insertNeighbor(s int, v ID) bool {
+	if g.engaged(s) {
+		if bitsetHas(g.bits[s], v) {
+			return false
+		}
+		g.bits[s] = bitsetSet(g.bits[s], v)
+		g.bdeg[s]++
+		return true
+	}
+	var inserted bool
+	g.adj[s], inserted = insertSorted(g.adj[s], v)
+	return inserted
+}
+
+// removeNeighbor deletes v from slot s's neighbor set, reporting
+// whether it was present.
+func (g *Graph) removeNeighbor(s int, v ID) bool {
+	if g.engaged(s) {
+		if !bitsetHas(g.bits[s], v) {
+			return false
+		}
+		bitsetUnset(g.bits[s], v)
+		g.bdeg[s]--
+		return true
+	}
+	var removed bool
+	g.adj[s], removed = removeSorted(g.adj[s], v)
+	return removed
+}
+
+// promoteThreshold is the degree at which a slice-backed slot switches
+// to a bitset. The words(maxID+1) term doubles as a density gate: a
+// bitset over sparse IDs would be mostly zero words, and it also keeps
+// bitset memory at or below the memory of the slice it replaces.
+func (g *Graph) promoteThreshold() int {
+	t := bitsetMinDeg
+	if g.minDeg > 0 {
+		t = g.minDeg
+	}
+	if g.maxID >= 0 {
+		if w := bitsetWords(g.maxID); w > t {
+			t = w
+		}
+	}
+	return t
+}
+
+func (g *Graph) maybePromote(s int) {
+	if !g.engaged(s) && len(g.adj[s]) >= g.promoteThreshold() {
+		g.promote(s)
+	}
+}
+
+// promote rebuilds slot s's adjacency as a bitset. The sorted slice's
+// backing array is retained (truncated to zero length) so a later
+// demotion reuses it.
+func (g *Graph) promote(s int) {
+	w := bitsetWords(g.maxID)
+	b := g.bits[s]
+	if cap(b) < w {
+		b = make([]uint64, w)
+	} else {
+		b = b[:w]
+		clear(b)
+	}
+	for _, v := range g.adj[s] {
+		b[int(v>>6)] |= 1 << (uint(v) & 63)
+	}
+	g.bits[s] = b
+	g.bdeg[s] = len(g.adj[s])
+	g.adj[s] = g.adj[s][:0]
+}
+
+// maybeDemote demotes slot s back to a sorted slice once its degree
+// falls below half the promotion threshold. The factor-of-two
+// hysteresis keeps a slot oscillating around the threshold from
+// rebuilding its representation every round.
+func (g *Graph) maybeDemote(s int) {
+	if g.engaged(s) && g.bdeg[s]*2 < g.promoteThreshold() {
+		g.demote(s)
+	}
+}
+
+// demote rebuilds slot s's adjacency as a sorted slice from its
+// bitset. Bitset iteration ascends by ID, so the slice comes out
+// sorted for free; the bitset's backing array is retained for a later
+// promotion.
+func (g *Graph) demote(s int) {
+	out := g.adj[s][:0]
+	out = appendBitset(out, g.bits[s])
+	g.adj[s] = out
+	g.bits[s] = g.bits[s][:0]
+	g.bdeg[s] = -1
 }
 
 // MustAddEdge is AddEdge for construction code where a self-loop is a
@@ -149,13 +273,13 @@ func (g *Graph) RemoveEdge(u, v ID) bool {
 	if !ok {
 		return false
 	}
-	var removed bool
-	g.adj[su], removed = removeSorted(g.adj[su], v)
-	if !removed {
+	if !g.removeNeighbor(su, v) {
 		return false
 	}
-	g.adj[sv], _ = removeSorted(g.adj[sv], u)
+	g.removeNeighbor(sv, u)
 	g.edges--
+	g.maybeDemote(su)
+	g.maybeDemote(sv)
 	return true
 }
 
@@ -169,7 +293,20 @@ func (g *Graph) HasEdge(u, v ID) bool {
 	if !ok {
 		return false
 	}
-	// Search the lower-degree endpoint.
+	return g.hasEdgeSlots(su, sv, u, v)
+}
+
+// hasEdgeSlots is the shared core of HasEdge and HasEdgeSlots: su/sv
+// are the endpoint slots, u/v their IDs.
+func (g *Graph) hasEdgeSlots(su, sv int, u, v ID) bool {
+	// A bitset endpoint answers in O(1).
+	if g.engaged(su) {
+		return bitsetHas(g.bits[su], v)
+	}
+	if g.engaged(sv) {
+		return bitsetHas(g.bits[sv], u)
+	}
+	// Both slices: search the lower-degree endpoint.
 	if len(g.adj[su]) > len(g.adj[sv]) {
 		su, v = sv, u
 	}
@@ -186,7 +323,7 @@ func (g *Graph) NumEdges() int { return g.edges }
 func (g *Graph) Nodes() []ID {
 	out := make([]ID, len(g.ids))
 	copy(out, g.ids)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -198,6 +335,9 @@ func (g *Graph) Neighbors(u ID) []ID {
 	if !ok {
 		return []ID{}
 	}
+	if g.engaged(su) {
+		return appendBitset(make([]ID, 0, g.bdeg[su]), g.bits[su])
+	}
 	out := make([]ID, len(g.adj[su]))
 	copy(out, g.adj[su])
 	return out
@@ -208,10 +348,14 @@ func (g *Graph) Neighbors(u ID) []ID {
 // result aliases dst, not the graph's internal storage.
 func (g *Graph) NeighborsInto(u ID, dst []ID) []ID {
 	dst = dst[:0]
-	if su, ok := g.index[u]; ok {
-		dst = append(dst, g.adj[su]...)
+	su, ok := g.index[u]
+	if !ok {
+		return dst
 	}
-	return dst
+	if g.engaged(su) {
+		return appendBitset(dst, g.bits[su])
+	}
+	return append(dst, g.adj[su]...)
 }
 
 // EachNeighbor calls fn for every neighbor of u in ascending order,
@@ -222,6 +366,24 @@ func (g *Graph) EachNeighbor(u ID, fn func(v ID) bool) {
 	if !ok {
 		return
 	}
+	g.eachNeighborSlot(su, fn)
+}
+
+// eachNeighborSlot is EachNeighbor addressed by slot.
+func (g *Graph) eachNeighborSlot(su int, fn func(v ID) bool) {
+	if g.engaged(su) {
+		for w, word := range g.bits[su] {
+			base := ID(w << 6)
+			for word != 0 {
+				v := base + ID(trailingZeros64(word))
+				if !fn(v) {
+					return
+				}
+				word &= word - 1
+			}
+		}
+		return
+	}
 	for _, v := range g.adj[su] {
 		if !fn(v) {
 			return
@@ -230,8 +392,10 @@ func (g *Graph) EachNeighbor(u ID, fn func(v ID) bool) {
 }
 
 // HaveCommonNeighbor reports whether u and v share at least one common
-// neighbor, by merge-walking the two sorted adjacency lists. It is the
-// allocation-free primitive behind the model's distance-2 rule.
+// neighbor. It is the allocation-free primitive behind the model's
+// distance-2 rule: a word-wise AND when both endpoints are
+// bitset-backed, a membership probe of the bitset when one is, and a
+// merge walk of the two sorted lists when neither is.
 func (g *Graph) HaveCommonNeighbor(u, v ID) bool {
 	su, ok := g.index[u]
 	if !ok {
@@ -240,6 +404,15 @@ func (g *Graph) HaveCommonNeighbor(u, v ID) bool {
 	sv, ok := g.index[v]
 	if !ok {
 		return false
+	}
+	eu, ev := g.engaged(su), g.engaged(sv)
+	switch {
+	case eu && ev:
+		return bitsetIntersects(g.bits[su], g.bits[sv])
+	case eu:
+		return sliceMeetsBitset(g.adj[sv], g.bits[su])
+	case ev:
+		return sliceMeetsBitset(g.adj[su], g.bits[sv])
 	}
 	a, b := g.adj[su], g.adj[sv]
 	i, j := 0, 0
@@ -256,11 +429,29 @@ func (g *Graph) HaveCommonNeighbor(u, v ID) bool {
 	return false
 }
 
+// sliceMeetsBitset reports whether any ID of the sorted slice s has
+// its bit set in b.
+func sliceMeetsBitset(s []ID, b []uint64) bool {
+	for _, v := range s {
+		if bitsetHas(b, v) {
+			return true
+		}
+	}
+	return false
+}
+
 // Degree returns the degree of u.
 func (g *Graph) Degree(u ID) int {
 	su, ok := g.index[u]
 	if !ok {
 		return 0
+	}
+	return g.degreeSlot(su)
+}
+
+func (g *Graph) degreeSlot(su int) int {
+	if g.engaged(su) {
+		return g.bdeg[su]
 	}
 	return len(g.adj[su])
 }
@@ -269,9 +460,9 @@ func (g *Graph) Degree(u ID) int {
 // graph).
 func (g *Graph) MaxDegree() int {
 	maxDeg := 0
-	for _, nbrs := range g.adj {
-		if len(nbrs) > maxDeg {
-			maxDeg = len(nbrs)
+	for s := range g.adj {
+		if d := g.degreeSlot(s); d > maxDeg {
+			maxDeg = d
 		}
 	}
 	return maxDeg
@@ -281,31 +472,43 @@ func (g *Graph) MaxDegree() int {
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.edges)
 	for _, u := range g.Nodes() {
-		for _, v := range g.adj[g.index[u]] {
+		su := g.index[u]
+		g.eachNeighborSlot(su, func(v ID) bool {
 			if u < v {
 				out = append(out, Edge{A: u, B: v})
 			}
-		}
+			return true
+		})
 	}
 	return out
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g, including each slot's current
+// representation.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		index: make(map[ID]int, len(g.index)),
-		ids:   make([]ID, len(g.ids)),
-		adj:   make([][]ID, len(g.adj)),
-		edges: g.edges,
-		maxID: g.maxID,
+		index:  make(map[ID]int, len(g.index)),
+		ids:    make([]ID, len(g.ids)),
+		adj:    make([][]ID, len(g.adj)),
+		bits:   make([][]uint64, len(g.bits)),
+		bdeg:   make([]int, len(g.bdeg)),
+		edges:  g.edges,
+		maxID:  g.maxID,
+		minDeg: g.minDeg,
 	}
 	copy(c.ids, g.ids)
+	copy(c.bdeg, g.bdeg)
 	for u, s := range g.index {
 		c.index[u] = s
 	}
 	for s, nbrs := range g.adj {
 		if len(nbrs) > 0 {
 			c.adj[s] = append([]ID(nil), nbrs...)
+		}
+	}
+	for s, b := range g.bits {
+		if g.engaged(s) {
+			c.bits[s] = append([]uint64(nil), b...)
 		}
 	}
 	return c
@@ -332,20 +535,23 @@ func (g *Graph) IDAt(slot int) ID { return g.ids[slot] }
 // and sv is present. Both slots must be valid; it is the map-free
 // counterpart of HasEdge for slot-addressed callers.
 func (g *Graph) HasEdgeSlots(su, sv int) bool {
-	// Search the lower-degree endpoint.
-	if len(g.adj[su]) > len(g.adj[sv]) {
-		su, sv = sv, su
-	}
-	return containsSorted(g.adj[su], g.ids[sv])
+	return g.hasEdgeSlots(su, sv, g.ids[su], g.ids[sv])
 }
 
-// NeighborsView returns u's neighbors in ascending order as a view of
-// the graph's internal storage: zero-copy, but callers must not modify
-// it, and any mutation of g invalidates it. Unknown nodes yield nil.
+// NeighborsView returns u's neighbors in ascending order, zero-copy
+// when u's slot is slice-backed: callers must not modify the result,
+// and any mutation of g invalidates it. For bitset-backed slots a
+// fresh slice is materialized, so hot paths should prefer EachNeighbor
+// or NeighborsInto; the engine only calls NeighborsView on initial
+// snapshots, which CopyCanonicalFrom always leaves slice-backed.
+// Unknown nodes yield nil.
 func (g *Graph) NeighborsView(u ID) []ID {
 	su, ok := g.index[u]
 	if !ok {
 		return nil
+	}
+	if g.engaged(su) {
+		return appendBitset(make([]ID, 0, g.bdeg[su]), g.bits[su])
 	}
 	return g.adj[su]
 }
@@ -359,16 +565,19 @@ func (g *Graph) AppendNodes(dst []ID) []ID {
 }
 
 // CopyCanonicalFrom makes g a canonical deep copy of src: the same
-// nodes and edges, with slots assigned in ascending ID order. Existing
-// backing arrays (ids, adjacency lists, the index map) are reused, so
-// repeated copies into the same receiver do not allocate in steady
-// state. The temporal.History layer keeps its graphs canonical this
-// way, which is what lets the engine equate slots with ascending-ID
-// ranks.
+// nodes and edges, with slots assigned in ascending ID order and every
+// slot slice-backed regardless of src's representations (mutation
+// re-promotes dense slots on the first edge flip past the threshold;
+// keeping copies slice-backed is what guarantees NeighborsView on
+// initial snapshots stays zero-copy). Existing backing arrays (ids,
+// adjacency lists, bitsets, the index map) are reused, so repeated
+// copies into the same receiver do not allocate in steady state. The
+// temporal.History layer keeps its graphs canonical this way, which is
+// what lets the engine equate slots with ascending-ID ranks.
 func (g *Graph) CopyCanonicalFrom(src *Graph) {
 	n := len(src.ids)
 	g.ids = append(g.ids[:0], src.ids...)
-	sort.Slice(g.ids, func(i, j int) bool { return g.ids[i] < g.ids[j] })
+	slices.Sort(g.ids)
 	if g.index == nil {
 		g.index = make(map[ID]int, n)
 	} else {
@@ -384,11 +593,30 @@ func (g *Graph) CopyCanonicalFrom(src *Graph) {
 	} else {
 		g.adj = g.adj[:n]
 	}
+	if cap(g.bits) < n {
+		bits := make([][]uint64, n)
+		copy(bits, g.bits[:cap(g.bits)])
+		g.bits = bits
+	} else {
+		g.bits = g.bits[:n]
+	}
+	if cap(g.bdeg) < n {
+		g.bdeg = make([]int, n)
+	} else {
+		g.bdeg = g.bdeg[:n]
+	}
 	for i, id := range g.ids {
-		g.adj[i] = append(g.adj[i][:0], src.adj[src.index[id]]...)
+		g.bdeg[i] = -1
+		ss := src.index[id]
+		if src.engaged(ss) {
+			g.adj[i] = appendBitset(g.adj[i][:0], src.bits[ss])
+		} else {
+			g.adj[i] = append(g.adj[i][:0], src.adj[ss]...)
+		}
 	}
 	g.edges = src.edges
 	g.maxID = src.maxID
+	g.minDeg = src.minDeg
 }
 
 // String implements fmt.Stringer with a compact summary.

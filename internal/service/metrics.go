@@ -35,9 +35,10 @@ type metrics struct {
 
 	// Engine digests, folded once per run by the run observer; the
 	// round hot loop is never touched.
-	engineRuns      *obs.Counter
-	engineRounds    *obs.Histogram
-	engineRoundSecs *obs.Histogram
+	engineRuns       *obs.Counter
+	engineRounds     *obs.Histogram
+	engineRoundSecs  *obs.Histogram
+	engineEfficiency *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry, logger *slog.Logger) *metrics {
@@ -73,6 +74,9 @@ func newMetrics(reg *obs.Registry, logger *slog.Logger) *metrics {
 		engineRoundSecs: reg.Histogram("adnet_engine_round_duration_seconds",
 			"Mean wall-clock time per round, folded in once per run.",
 			obs.ExpBuckets(1e-7, 4, 12)),
+		engineEfficiency: reg.Histogram("adnet_engine_parallel_efficiency_ratio",
+			"Per-run intra-round parallel efficiency: worker busy time over workers times wall-clock (1.0 for sequential runs).",
+			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}),
 	}
 }
 
@@ -124,6 +128,9 @@ func (mt *metrics) observeRun(s sim.RunSummary) {
 	mt.engineRounds.Observe(float64(s.Rounds))
 	if s.Rounds > 0 {
 		mt.engineRoundSecs.Observe(s.Duration.Seconds() / float64(s.Rounds))
+	}
+	if eff := s.ParallelEfficiency(); eff > 0 {
+		mt.engineEfficiency.Observe(eff)
 	}
 }
 

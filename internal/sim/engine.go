@@ -26,11 +26,12 @@ import (
 // freely between runs. Run consumes the Reset: calling Run twice
 // without a Reset in between is an error.
 //
-// Ownership: the *Result returned by Run shares the engine's History;
-// it is valid until the next Reset, so callers that keep results
-// across runs must extract what they need (clones, Metrics, PerRound)
-// before resetting. Engines are not safe for concurrent use; run one
-// engine per goroutine (see expt.ExecuteSweep for the fleet pattern).
+// Ownership: the *Result returned by Run shares the engine's History
+// (and, across runs, the engine reuses the Result struct itself); it
+// is valid until the next Reset, so callers that keep results across
+// runs must extract what they need (clones, Metrics, PerRound) before
+// resetting. Engines are not safe for concurrent use; run one engine
+// per goroutine (see expt.ExecuteSweep for the fleet pattern).
 //
 // Internally everything is slot-addressed: node slots are ascending-ID
 // ranks 0..n-1 (the History keeps its snapshots canonical), contexts
@@ -39,10 +40,16 @@ import (
 // indexing — no per-run ID→index map exists. The worker pool is
 // persistent and pinned: each worker owns a fixed slot range
 // [lo, hi) for the whole run and parks on its channel between phases
-// and between runs instead of being respawned.
+// and between runs instead of being respawned. Parallelism is
+// intra-round end to end: workers step their slot ranges, collect
+// their slots' edge intents into worker-local buffers (merged without
+// locks — worker ranges are ascending and ordered, so batch
+// concatenation is exactly the sequential slot order), and validate
+// the resulting batches concurrently inside History.ApplyBatches.
 type Engine struct {
 	cfg     config
 	workers int
+	usePool bool // resolved per run: workers > 1 and n large enough
 	pool    *workerPool
 
 	hist      *temporal.History
@@ -51,8 +58,31 @@ type Engine struct {
 	machines  []Machine
 	inboxes   [][]Message
 	delivered []Message
-	acts      []graph.Edge
-	deacts    []graph.Edge
+
+	// Per-worker intent buffers: worker w appends the intents of its
+	// slot range into wacts[w]/wdeacts[w] during the Receive step, and
+	// batches[w] hands them to History.ApplyBatches. Index 0 doubles
+	// as the sequential path's single buffer.
+	wacts   [][]graph.Edge
+	wdeacts [][]graph.Edge
+	batches []temporal.IntentBatch
+
+	// Phase closures, bound once per engine so the round loop does not
+	// allocate a closure per phase. They read curRound instead of
+	// capturing the loop variable.
+	sendFn   func(w, i int)
+	recvFn   func(w, i int)
+	applyPar func(k int, fn func(int))
+	curRound int
+
+	bfs graph.BFSScratch // connectivity checks without per-call allocation
+	res *Result          // reused across runs; see Ownership above
+
+	// Machine recycling (WithMachineRecycling): the key and size of the
+	// previous run, used to decide whether machines can be Recycled in
+	// place instead of rebuilt.
+	lastRecycle string
+	lastN       int
 
 	n        int
 	ready    bool // a successful Reset has not yet been consumed by Run
@@ -61,7 +91,33 @@ type Engine struct {
 
 // NewEngine returns an idle engine. Close it when done to release the
 // worker pool.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	e := &Engine{}
+	e.sendFn = func(_, i int) {
+		ctx := e.ctxs[i]
+		ctx.beginRound(e.curRound)
+		if ctx.halted {
+			return
+		}
+		e.machines[i].Send(ctx)
+	}
+	e.recvFn = func(w, i int) {
+		ctx := e.ctxs[i]
+		if !ctx.halted {
+			e.machines[i].Receive(ctx, e.inboxes[i])
+		}
+		if len(ctx.acts) > 0 {
+			e.wacts[w] = append(e.wacts[w], ctx.acts...)
+		}
+		if len(ctx.deacts) > 0 {
+			e.wdeacts[w] = append(e.wdeacts[w], ctx.deacts...)
+		}
+	}
+	e.applyPar = func(k int, fn func(int)) {
+		e.pool.runSelf(fn)
+	}
+	return e
+}
 
 // Close releases the persistent worker pool. The engine may be reused
 // after Close (Reset recreates the pool on demand).
@@ -76,22 +132,28 @@ func (e *Engine) Close() {
 // Reset rebinds the engine to a fresh execution of the algorithm
 // produced by factory on the initial graph gs. All per-run state from
 // the previous execution is recycled; previously returned Results
-// become invalid. Machines are rebuilt (they carry algorithm state),
-// everything else is reused.
+// become invalid. Machines are rebuilt (they carry algorithm state)
+// unless WithMachineRecycling applies, in which case they are restored
+// in place; everything else is reused.
 func (e *Engine) Reset(gs *graph.Graph, factory Factory, opts ...Option) error {
 	e.ready = false
+	prevRecycle, prevN := e.lastRecycle, e.lastN
+	e.lastRecycle = "" // a failed Reset must not leave stale machines recyclable
 	n := gs.NumNodes()
 	if n == 0 {
 		return errors.New("sim: empty initial graph")
 	}
-	if !gs.IsConnected() {
+	if !e.bfs.IsConnected(gs) {
 		return errors.New("sim: initial graph must be connected")
 	}
-	cfg := config{maxRounds: 64*n + 64}
+	// Options are applied straight into the engine-owned config: taking
+	// the address of a local would force it to escape and cost one heap
+	// allocation per Reset.
+	e.cfg = config{maxRounds: 64*n + 64}
 	for _, o := range opts {
-		o(&cfg)
+		o(&e.cfg)
 	}
-	e.cfg = cfg
+	cfg := &e.cfg
 	e.n = n
 	workers := cfg.parallelism
 	if workers <= 0 {
@@ -102,6 +164,7 @@ func (e *Engine) Reset(gs *graph.Graph, factory Factory, opts ...Option) error {
 		}
 	}
 	e.workers = workers
+	e.usePool = workers > 1 && n >= 2*workers
 
 	if e.hist == nil {
 		e.hist = temporal.NewHistory(gs)
@@ -113,13 +176,30 @@ func (e *Engine) Reset(gs *graph.Graph, factory Factory, opts ...Option) error {
 	}
 	e.ids = e.hist.AppendNodeIDs(e.ids)
 
-	// Contexts and machines, slot-indexed. Context structs are reused;
-	// machines are algorithm state and must be rebuilt per run.
+	// Contexts and machines, slot-indexed. Context structs are reused.
+	// Machines are algorithm state: rebuilt per run, except that when
+	// the caller vouches (via a matching recycle key) that the factory
+	// is the same algorithm as last run and the previous machines can
+	// restore themselves, they are Recycled in place — the difference
+	// between a handful of allocations per run and none.
 	e.ctxs = growPtrs(e.ctxs, n)
 	e.machines = grow(e.machines, n)
 	env := Env{N: n}
+	recycle := cfg.recycle != "" && cfg.recycle == prevRecycle
+	if recycle {
+		for i := 0; i < prevN && i < n; i++ {
+			if _, ok := e.machines[i].(Recycler); !ok {
+				recycle = false
+				break
+			}
+		}
+	}
 	for i := 0; i < n; i++ {
 		e.ctxs[i].reset(e.ids[i], i, e.hist, env)
+		if recycle && i < prevN {
+			e.machines[i].(Recycler).Recycle(e.ids[i], env)
+			continue
+		}
 		m := factory(e.ids[i], env)
 		if m == nil {
 			return fmt.Errorf("sim: factory returned nil machine for node %d", e.ids[i])
@@ -149,9 +229,17 @@ func (e *Engine) Reset(gs *graph.Graph, factory Factory, opts ...Option) error {
 	}
 	clearMessages(e.delivered[:cap(e.delivered)])
 	e.delivered = e.delivered[:0]
-	e.acts, e.deacts = e.acts[:0], e.deacts[:0]
 
-	if workers > 1 {
+	// One intent buffer per worker (one total when sequential).
+	k := 1
+	if e.usePool {
+		k = workers
+	}
+	e.wacts = growSlices(e.wacts, k)
+	e.wdeacts = growSlices(e.wdeacts, k)
+	e.batches = grow(e.batches[:0], k)
+
+	if e.usePool {
 		if e.pool == nil || e.pool.size != workers {
 			if e.pool != nil {
 				e.pool.close()
@@ -160,6 +248,8 @@ func (e *Engine) Reset(gs *graph.Graph, factory Factory, opts ...Option) error {
 		}
 		e.pool.setRanges(n)
 	}
+	e.lastRecycle = cfg.recycle
+	e.lastN = n
 	e.ready = true
 	return nil
 }
@@ -178,25 +268,20 @@ func (e *Engine) Run() (*Result, error) {
 	if cfg.observer != nil {
 		e.runStart = time.Now()
 	}
+	if e.usePool {
+		e.pool.resetBusy()
+	}
 	n := e.n
 	hist := e.hist
 	ctxs := e.ctxs[:n]
 	machines := e.machines[:n]
 	inboxes := e.inboxes[:n]
+	k := len(e.batches)
 
 	// Init phase.
 	for i := range machines {
 		ctxs[i].round = 0
 		machines[i].Init(ctxs[i])
-	}
-
-	checkCtxErrs := func() error {
-		for i := range ctxs {
-			if ctxs[i].err != nil {
-				return ctxs[i].err
-			}
-		}
-		return nil
 	}
 
 	totalMsgs, maxMsgs := 0, 0
@@ -210,15 +295,9 @@ func (e *Engine) Run() (*Result, error) {
 			}
 		}
 		// --- Send ---
-		e.step(func(i int) {
-			ctx := ctxs[i]
-			ctx.beginRound(round)
-			if ctx.halted {
-				return
-			}
-			machines[i].Send(ctx)
-		})
-		if err := checkCtxErrs(); err != nil {
+		e.curRound = round
+		e.step(e.sendFn)
+		if err := e.ctxErr(); err != nil {
 			return e.finish(round, totalMsgs, maxMsgs), err
 		}
 		// --- Deliver: pure slot indexing; destination slots were
@@ -251,29 +330,33 @@ func (e *Engine) Run() (*Result, error) {
 			}
 		}
 
-		// --- Receive + intents ---
-		e.step(func(i int) {
-			ctx := ctxs[i]
-			if ctx.halted {
-				return
-			}
-			machines[i].Receive(ctx, inboxes[i])
-		})
-		if err := checkCtxErrs(); err != nil {
+		// --- Receive + intents, collected per worker ---
+		for w := 0; w < k; w++ {
+			e.wacts[w] = e.wacts[w][:0]
+			e.wdeacts[w] = e.wdeacts[w][:0]
+		}
+		e.step(e.recvFn)
+		if err := e.ctxErr(); err != nil {
 			return e.finish(round, totalMsgs, maxMsgs), err
 		}
 
 		// --- Activate / Deactivate ---
-		e.acts, e.deacts = e.acts[:0], e.deacts[:0]
-		for i := range ctxs {
-			e.acts = append(e.acts, ctxs[i].acts...)
-			e.deacts = append(e.deacts, ctxs[i].deacts...)
+		// Worker ranges are contiguous ascending slot spans, so the
+		// batches in worker order reproduce exactly the intent order a
+		// sequential slot scan would have produced; ApplyBatches then
+		// guarantees an outcome byte-identical to sequential Apply.
+		for w := 0; w < k; w++ {
+			e.batches[w] = temporal.IntentBatch{Activate: e.wacts[w], Deactivate: e.wdeacts[w]}
 		}
-		stats, err := hist.Apply(e.acts, e.deacts)
+		var par func(int, func(int))
+		if e.usePool {
+			par = e.applyPar
+		}
+		stats, err := hist.ApplyBatches(e.batches, par)
 		if err != nil {
 			return e.finish(round, totalMsgs, maxMsgs), err
 		}
-		if cfg.checkConnect && !hist.CurrentClone().IsConnected() {
+		if cfg.checkConnect && !hist.CurrentIsConnected(&e.bfs) {
 			return e.finish(round, totalMsgs, maxMsgs),
 				fmt.Errorf("%w after round %d", ErrDisconnected, round)
 		}
@@ -296,11 +379,23 @@ func (e *Engine) Run() (*Result, error) {
 		fmt.Errorf("%w (limit %d)", ErrRoundLimit, cfg.maxRounds)
 }
 
+// ctxErr returns the first per-context error recorded this phase.
+func (e *Engine) ctxErr() error {
+	for _, c := range e.ctxs[:e.n] {
+		if c.err != nil {
+			return c.err
+		}
+	}
+	return nil
+}
+
 // step runs fn for every slot, sequentially or on the pinned pool.
-func (e *Engine) step(fn func(i int)) {
-	if e.workers <= 1 || e.n < 2*e.workers {
+// The first argument of fn is the executing worker index (0 when
+// sequential), which is what routes intents to worker-local buffers.
+func (e *Engine) step(fn func(w, i int)) {
+	if !e.usePool {
 		for i := 0; i < e.n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -311,21 +406,34 @@ func (e *Engine) finish(rounds, totalMsgs, maxMsgs int) *Result {
 	// The observer fires here — once per run, after the round loop —
 	// so instrumentation never executes inside the hot loop.
 	if e.cfg.observer != nil {
+		dur := time.Since(e.runStart)
+		workers, busy := 1, dur
+		if e.usePool {
+			workers, busy = e.workers, e.pool.totalBusy()
+		}
 		e.cfg.observer(RunSummary{
 			Rounds:        rounds,
-			Duration:      time.Since(e.runStart),
+			Duration:      dur,
 			TotalMessages: totalMsgs,
+			Workers:       workers,
+			BusyTime:      busy,
 		})
 	}
-	res := &Result{
-		History:             e.hist,
-		Metrics:             e.hist.Metrics(),
-		Rounds:              rounds,
-		Statuses:            make(map[graph.ID]Status, e.n),
-		Machines:            make(map[graph.ID]Machine, e.n),
-		TotalMessages:       totalMsgs,
-		MaxMessagesPerRound: maxMsgs,
+	if e.res == nil {
+		e.res = &Result{
+			Statuses: make(map[graph.ID]Status, e.n),
+			Machines: make(map[graph.ID]Machine, e.n),
+		}
+	} else {
+		clear(e.res.Statuses)
+		clear(e.res.Machines)
 	}
+	res := e.res
+	res.History = e.hist
+	res.Metrics = e.hist.Metrics()
+	res.Rounds = rounds
+	res.TotalMessages = totalMsgs
+	res.MaxMessagesPerRound = maxMsgs
 	for i := 0; i < e.n; i++ {
 		res.Statuses[e.ids[i]] = e.ctxs[i].status
 		res.Machines[e.ids[i]] = e.machines[i]
@@ -333,16 +441,30 @@ func (e *Engine) finish(rounds, totalMsgs, maxMsgs int) *Result {
 	return res
 }
 
+// poolTask is one unit of work for the pool: either a range task
+// (fn applied to every slot of the worker's range) or a self task
+// (self applied once to the worker's own index — how ApplyBatches
+// validation shards land on their workers). Exactly one field is set.
+type poolTask struct {
+	fn   func(w, i int)
+	self func(w int)
+}
+
 // workerPool is a persistent, pinned pool: size goroutines, each
 // owning the fixed slot range [lo[w], hi[w]). Workers park on their
 // start channel between phases and between runs; a phase is one
 // channel send per worker, one completion receive per worker. Ranges
 // are rewritten only between runs (Engine.Reset), which
-// happens-before the next start send.
+// happens-before the next start send. Each worker accumulates the
+// wall-clock time it spends executing tasks in busy[w] (written only
+// by worker w, read by the driver after the completion barrier), which
+// is what RunSummary.BusyTime — and the parallel-efficiency metric
+// built on it — reports.
 type workerPool struct {
 	size   int
 	lo, hi []int
-	start  []chan func(i int)
+	busy   []time.Duration
+	start  []chan poolTask
 	done   chan struct{}
 }
 
@@ -351,16 +473,23 @@ func newWorkerPool(size int) *workerPool {
 		size:  size,
 		lo:    make([]int, size),
 		hi:    make([]int, size),
-		start: make([]chan func(i int), size),
+		busy:  make([]time.Duration, size),
+		start: make([]chan poolTask, size),
 		done:  make(chan struct{}, size),
 	}
 	for w := 0; w < size; w++ {
-		p.start[w] = make(chan func(i int))
+		p.start[w] = make(chan poolTask)
 		go func(w int) {
-			for fn := range p.start[w] {
-				for i := p.lo[w]; i < p.hi[w]; i++ {
-					fn(i)
+			for t := range p.start[w] {
+				t0 := time.Now()
+				if t.self != nil {
+					t.self(w)
+				} else {
+					for i := p.lo[w]; i < p.hi[w]; i++ {
+						t.fn(w, i)
+					}
 				}
+				p.busy[w] += time.Since(t0)
 				p.done <- struct{}{}
 			}
 		}(w)
@@ -383,17 +512,45 @@ func (p *workerPool) setRanges(n int) {
 	}
 }
 
-// run executes one phase: every worker steps its own range, and all
-// workers are awaited before returning. Errors are recorded
+// run executes one range phase: every worker steps its own range, and
+// all workers are awaited before returning. Errors are recorded
 // per-Context by fn and surfaced by the caller, keeping execution
 // deterministic regardless of scheduling.
-func (p *workerPool) run(fn func(i int)) {
+func (p *workerPool) run(fn func(w, i int)) {
+	t := poolTask{fn: fn}
 	for w := 0; w < p.size; w++ {
-		p.start[w] <- fn
+		p.start[w] <- t
 	}
 	for w := 0; w < p.size; w++ {
 		<-p.done
 	}
+}
+
+// runSelf executes fn(w) once on every worker w and awaits them all.
+func (p *workerPool) runSelf(fn func(w int)) {
+	t := poolTask{self: fn}
+	for w := 0; w < p.size; w++ {
+		p.start[w] <- t
+	}
+	for w := 0; w < p.size; w++ {
+		<-p.done
+	}
+}
+
+func (p *workerPool) resetBusy() {
+	for w := range p.busy {
+		p.busy[w] = 0
+	}
+}
+
+// totalBusy sums the per-worker busy time. Callers must have observed
+// the completion barrier of every outstanding task.
+func (p *workerPool) totalBusy() time.Duration {
+	var total time.Duration
+	for _, b := range p.busy {
+		total += b
+	}
+	return total
 }
 
 func (p *workerPool) close() {
@@ -411,6 +568,16 @@ func grow[T any](s []T, n int) []T {
 	out := make([]T, n)
 	copy(out, s[:cap(s)])
 	return out
+}
+
+// growSlices is grow for the per-worker intent buffers, keeping each
+// buffer's backing array and resetting lengths to zero.
+func growSlices(s [][]graph.Edge, n int) [][]graph.Edge {
+	s = grow(s, n)
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
 }
 
 // growPtrs is grow for the context slice, allocating structs for new

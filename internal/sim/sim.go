@@ -72,6 +72,18 @@ type Machine interface {
 // and the public model constants.
 type Factory func(id graph.ID, env Env) Machine
 
+// Recycler is an optional Machine extension for allocation-free reuse
+// across runs. Recycle must restore the machine to exactly the state
+// its factory would produce for (id, env), retaining internal capacity
+// (maps, slices) instead of reallocating. Only machines whose
+// factory-fresh state is a pure function of (id, env) — no captured
+// per-run options — may implement it; the engine recycles machines
+// only when the caller opts in via WithMachineRecycling.
+type Recycler interface {
+	Machine
+	Recycle(id graph.ID, env Env)
+}
+
 // Env carries the model constants every node is granted by the paper:
 // n (known to all nodes in §5; harmless elsewhere — machines that must
 // not rely on it simply ignore it).
@@ -108,6 +120,7 @@ type config struct {
 	trace        bool
 	done         <-chan struct{}
 	observer     func(RunSummary)
+	recycle      string
 }
 
 // Option configures Run.
@@ -155,6 +168,30 @@ type RunSummary struct {
 	Duration time.Duration
 	// TotalMessages counts every delivered message across the run.
 	TotalMessages int
+	// Workers is the resolved intra-round worker count for this run
+	// (1 when the run executed sequentially).
+	Workers int
+	// BusyTime is the cumulative wall-clock time workers spent
+	// executing node steps and intent validation; for sequential runs
+	// it equals Duration. BusyTime / (Workers × Duration) is the run's
+	// parallel efficiency: 1.0 means no worker ever idled.
+	BusyTime time.Duration
+}
+
+// ParallelEfficiency returns BusyTime/(Workers×Duration) clamped to
+// [0, 1], or 0 when the run was too short to measure.
+func (s RunSummary) ParallelEfficiency() float64 {
+	if s.Workers <= 0 || s.Duration <= 0 {
+		return 0
+	}
+	eff := float64(s.BusyTime) / (float64(s.Workers) * float64(s.Duration))
+	if eff > 1 {
+		eff = 1
+	}
+	if eff < 0 {
+		eff = 0
+	}
+	return eff
 }
 
 // WithRunObserver registers fn to be called exactly once when the run
@@ -165,6 +202,17 @@ type RunSummary struct {
 // enforces it). fn runs on the engine's goroutine; keep it cheap.
 func WithRunObserver(fn func(RunSummary)) Option {
 	return func(c *config) { c.observer = fn }
+}
+
+// WithMachineRecycling lets the engine restore machines in place
+// (via the Recycler interface) instead of rebuilding them, when the
+// previous Reset used the same non-empty key and every machine from
+// that run implements Recycler. The key names the algorithm; callers
+// must change it whenever they change the factory. This is what takes
+// repeated same-algorithm runs (sweeps, benchmarks) to zero
+// steady-state allocations.
+func WithMachineRecycling(key string) Option {
+	return func(c *config) { c.recycle = key }
 }
 
 // Result is the outcome of an execution.

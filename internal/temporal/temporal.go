@@ -12,8 +12,9 @@
 package temporal
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"adnet/internal/graph"
 )
@@ -92,6 +93,34 @@ type History struct {
 	scratchRawDeact []graph.Edge // every canonical deactivation request, sorted
 	scratchAct      []graph.Edge // validated new activations, sorted+deduped
 	scratchDeact    []graph.Edge // validated deactivations, sorted+deduped
+
+	// shards hold per-batch validation state for ApplyBatches; shard k
+	// is written only by the goroutine validating batch k, so the
+	// validation pass is data-race free by construction. validateFn is
+	// the method value handed to the parallel runner, bound once so the
+	// hot loop creates no closures.
+	shards     []applyShard
+	heads      []int // k-way merge cursors, one per shard
+	validateFn func(k int)
+}
+
+// IntentBatch is one caller's (typically one engine worker's) edge
+// intents for a single round. Batches are ordered: concatenating them
+// in slice order must reproduce the caller order a sequential Apply
+// would have seen, which is what keeps violation reporting identical
+// across worker counts.
+type IntentBatch struct {
+	Activate   []graph.Edge
+	Deactivate []graph.Edge
+}
+
+// applyShard is the validation workspace of one IntentBatch.
+type applyShard struct {
+	batch     IntentBatch
+	rawAct    []graph.Edge // canonical activation requests, sorted
+	act       []graph.Edge // surviving activations, sorted
+	rawDeact  []graph.Edge // canonical deactivation requests, sorted
+	violation *Violation   // first violation in batch order, if any
 }
 
 // NewHistory starts an execution from the initial graph Gs = D(1).
@@ -235,6 +264,18 @@ func (h *History) PotentialNeighbors(u graph.ID) []graph.ID {
 // CurrentClone returns a copy of the current snapshot D(i).
 func (h *History) CurrentClone() *graph.Graph { return h.current.Clone() }
 
+// CurrentView returns the live current snapshot D(i) for read-only
+// analysis without the O(n+m) cost of CurrentClone. The returned graph
+// is owned by the history: it is valid only until the next Apply or
+// Reset, and callers must not mutate it or retain it.
+func (h *History) CurrentView() *graph.Graph { return h.current }
+
+// CurrentIsConnected reports whether D(i) is connected, reusing sc's
+// buffers so repeated checks allocate nothing.
+func (h *History) CurrentIsConnected(sc *graph.BFSScratch) bool {
+	return sc.IsConnected(h.current)
+}
+
 // InitialClone returns a copy of D(1).
 func (h *History) InitialClone() *graph.Graph { return h.initial.Clone() }
 
@@ -274,13 +315,61 @@ func (h *History) ActivatedSubgraph() *graph.Graph {
 // All scratch state is reused across rounds; Apply performs no
 // steady-state allocation when tracing is disabled.
 func (h *History) Apply(activate, deactivate []graph.Edge) (RoundStats, error) {
-	// Validate against E(i) in caller order.
-	rawAct := h.scratchRawAct[:0]
-	acts := h.scratchAct[:0]
-	for _, e := range activate {
+	h.ensureShards(1)
+	h.shards[0].batch = IntentBatch{Activate: activate, Deactivate: deactivate}
+	return h.applyShards(1, nil)
+}
+
+// ApplyBatches is Apply for intents that arrive pre-sharded, typically
+// one batch per engine worker. It is observationally identical to
+// calling Apply on the concatenation of the batches in slice order:
+// the same RoundStats, the same committed edges in the same canonical
+// order (so traces stay byte-identical across worker counts), and the
+// same first violation.
+//
+// When parallel is non-nil it is invoked as parallel(k, fn) and must
+// call fn(0) … fn(k-1), each exactly once, on any goroutines it likes,
+// returning only when all calls have finished. Validation of each
+// batch is read-only against the frozen pre-round snapshot E(i) and
+// touches only that batch's shard, so the fn calls are data-race free.
+// The merge and commit that follow run on the calling goroutine.
+func (h *History) ApplyBatches(batches []IntentBatch, parallel func(n int, fn func(k int))) (RoundStats, error) {
+	k := len(batches)
+	if k == 0 {
+		return h.applyShards(0, nil)
+	}
+	h.ensureShards(k)
+	for i := range batches {
+		h.shards[i].batch = batches[i]
+	}
+	return h.applyShards(k, parallel)
+}
+
+// ensureShards sizes the shard table, retaining each shard's buffers.
+func (h *History) ensureShards(k int) {
+	for len(h.shards) < k {
+		h.shards = append(h.shards, applyShard{})
+	}
+	if h.validateFn == nil {
+		h.validateFn = h.validateShard
+	}
+}
+
+// validateShard validates shard k's batch against the frozen snapshot
+// E(i): canonicalizing requests, dropping model no-ops, recording the
+// batch's first violation, and shard-locally sorting the results for
+// the merge pass. It writes nothing outside its shard and only reads
+// h.current, so distinct shards validate concurrently.
+func (h *History) validateShard(k int) {
+	sh := &h.shards[k]
+	rawAct := sh.rawAct[:0]
+	acts := sh.act[:0]
+	sh.violation = nil
+	for _, e := range sh.batch.Activate {
 		if e.A == e.B {
-			h.scratchRawAct, h.scratchAct = rawAct, acts[:0]
-			return RoundStats{}, &Violation{Round: h.round, Edge: e, Op: "activate", Why: "self-loop"}
+			sh.violation = &Violation{Round: h.round, Edge: e, Op: "activate", Why: "self-loop"}
+			acts = acts[:0]
+			break
 		}
 		ce := graph.NewEdge(e.A, e.B)
 		rawAct = append(rawAct, ce)
@@ -288,20 +377,60 @@ func (h *History) Apply(activate, deactivate []graph.Edge) (RoundStats, error) {
 			continue // no-op per the model
 		}
 		if !h.current.HaveCommonNeighbor(ce.A, ce.B) {
-			h.scratchRawAct, h.scratchAct = rawAct, acts[:0]
-			return RoundStats{}, &Violation{
+			sh.violation = &Violation{
 				Round: h.round, Edge: e, Op: "activate",
 				Why: "no common active neighbor (distance-2 rule)",
 			}
+			acts = acts[:0]
+			break
 		}
 		acts = append(acts, ce)
 	}
-	rawDeact := h.scratchRawDeact[:0]
-	for _, e := range deactivate {
+	rawDeact := sh.rawDeact[:0]
+	for _, e := range sh.batch.Deactivate {
 		rawDeact = append(rawDeact, graph.NewEdge(e.A, e.B))
 	}
 	sortEdges(rawAct)
 	sortEdges(rawDeact)
+	sortEdges(acts)
+	sh.rawAct, sh.act, sh.rawDeact = rawAct, acts, rawDeact
+}
+
+// applyShards validates the first k shards (in parallel when a runner
+// is supplied), merges the shard results into canonical order, and
+// commits the round.
+func (h *History) applyShards(k int, parallel func(n int, fn func(k int))) (RoundStats, error) {
+	if parallel != nil && k > 1 {
+		parallel(k, h.validateFn)
+	} else {
+		for i := 0; i < k; i++ {
+			h.validateShard(i)
+		}
+	}
+	// Batches are in caller order, so the first violation of the
+	// lowest-index violating shard is exactly the violation a
+	// sequential validation of the concatenated intents would report.
+	for i := 0; i < k; i++ {
+		if v := h.shards[i].violation; v != nil {
+			return RoundStats{}, v
+		}
+	}
+
+	var rawAct, rawDeact, acts []graph.Edge
+	if k == 1 {
+		// Single batch: the shard buffers are already sorted wholes.
+		sh := &h.shards[0]
+		rawAct, rawDeact = sh.rawAct, sh.rawDeact
+		acts = dedupeEdges(sh.act)
+		sh.act = acts
+	} else {
+		rawAct = h.mergeShards(h.scratchRawAct, k, func(sh *applyShard) []graph.Edge { return sh.rawAct }, false)
+		h.scratchRawAct = rawAct
+		rawDeact = h.mergeShards(h.scratchRawDeact, k, func(sh *applyShard) []graph.Edge { return sh.rawDeact }, false)
+		h.scratchRawDeact = rawDeact
+		acts = h.mergeShards(h.scratchAct, k, func(sh *applyShard) []graph.Edge { return sh.act }, true)
+		h.scratchAct = acts
+	}
 
 	// "In case u and v disagree on their decision about edge uv, then
 	// their actions have no effect on uv": an edge that is requested
@@ -309,8 +438,6 @@ func (h *History) Apply(activate, deactivate []graph.Edge) (RoundStats, error) {
 	// different endpoints, and one request is necessarily invalid) is
 	// left untouched. The disagreement check uses the raw requests,
 	// before no-op filtering.
-	sortEdges(acts)
-	acts = dedupeEdges(acts)
 	kept := acts[:0]
 	for _, e := range acts {
 		if !containsEdge(rawDeact, e) {
@@ -377,12 +504,49 @@ func (h *History) Apply(activate, deactivate []graph.Edge) (RoundStats, error) {
 	}
 	h.round++
 
-	// Hand the (possibly regrown) backing arrays back for the next round.
-	h.scratchRawAct = rawAct
-	h.scratchRawDeact = rawDeact
-	h.scratchAct = acts
+	// Hand the (possibly regrown) backing array back for the next
+	// round; the raw/act buffers live in the shards (k == 1) or were
+	// already handed back by mergeShards (k > 1).
 	h.scratchDeact = deacts
 	return stats, nil
+}
+
+// mergeShards k-way merges one sorted edge list per shard (selected by
+// sel) into dst[:0], optionally dropping duplicates, and returns it.
+// Shard lists are individually sorted by validateShard, so the merge
+// yields the same ascending canonical order a global sort of the
+// concatenated input would — without re-sorting on the round driver.
+func (h *History) mergeShards(dst []graph.Edge, k int, sel func(*applyShard) []graph.Edge, dedupe bool) []graph.Edge {
+	dst = dst[:0]
+	if cap(h.heads) < k {
+		h.heads = make([]int, k)
+	}
+	heads := h.heads[:k]
+	for i := range heads {
+		heads[i] = 0
+	}
+	for {
+		best := -1
+		var bestEdge graph.Edge
+		for i := 0; i < k; i++ {
+			list := sel(&h.shards[i])
+			if heads[i] >= len(list) {
+				continue
+			}
+			e := list[heads[i]]
+			if best < 0 || cmpEdge(e, bestEdge) < 0 {
+				best, bestEdge = i, e
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		heads[best]++
+		if dedupe && len(dst) > 0 && dst[len(dst)-1] == bestEdge {
+			continue
+		}
+		dst = append(dst, bestEdge)
+	}
 }
 
 // bumpActivatedDeg adjusts u's degree in D(i) \ D(1). u is always an
@@ -397,13 +561,19 @@ func (h *History) bumpActivatedDeg(u graph.ID, delta int) {
 	}
 }
 
+// cmpEdge orders canonical edges lexicographically.
+func cmpEdge(a, b graph.Edge) int {
+	if c := cmp.Compare(a.A, b.A); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.B, b.B)
+}
+
+// sortEdges sorts in place without allocating (unlike sort.Slice,
+// whose reflect-based swapper costs an allocation per call — which at
+// three calls per round was a measurable slice of the hot loop).
 func sortEdges(es []graph.Edge) {
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].A != es[j].A {
-			return es[i].A < es[j].A
-		}
-		return es[i].B < es[j].B
-	})
+	slices.SortFunc(es, cmpEdge)
 }
 
 // dedupeEdges removes adjacent duplicates from a sorted slice, in place.
@@ -419,13 +589,8 @@ func dedupeEdges(es []graph.Edge) []graph.Edge {
 
 // containsEdge reports whether the sorted slice es contains e.
 func containsEdge(es []graph.Edge, e graph.Edge) bool {
-	i := sort.Search(len(es), func(i int) bool {
-		if es[i].A != e.A {
-			return es[i].A > e.A
-		}
-		return es[i].B >= e.B
-	})
-	return i < len(es) && es[i] == e
+	_, ok := slices.BinarySearchFunc(es, e, cmpEdge)
+	return ok
 }
 
 // Metrics returns the aggregated cost measures so far.
@@ -461,5 +626,5 @@ func (h *History) TraceRound(i int) (act, deact []graph.Edge, ok bool) {
 }
 
 func sortIDs(ids []graph.ID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 }
