@@ -26,6 +26,16 @@
 //	adnet-bench -compare BENCH_LATEST.json -alloc-threshold 0.25
 //	adnet-bench -compare BENCH_LATEST.json -sizes 256 -workloads line
 //
+// With -fanout the command measures the broadcast hub's encode-once
+// fan-out path instead of engine runs: frames published to one hub,
+// drained by 1..N concurrent subscribers, reporting encodes and bytes
+// fanned out per round. -fanout -compare re-measures the fan-out
+// records of a committed baseline and fails if the encode-once
+// invariant (encodes/round == 1 at any subscriber count) breaks:
+//
+//	adnet-bench -fanout -fanout-subs 1,64,1024 -json
+//	adnet-bench -fanout -compare BENCH_LATEST.json
+//
 // With -aggregate the command runs the -algos × -workloads × -sizes ×
 // -seeds grid through the sweep fleet and prints the per-(algorithm,
 // workload, n) statistics over seeds — the same table shape the
@@ -52,6 +62,7 @@ import (
 
 	"adnet/internal/expt"
 	"adnet/internal/obs"
+	"adnet/internal/service"
 	"adnet/internal/sim"
 )
 
@@ -90,6 +101,9 @@ func main() {
 	aggregate := flag.Bool("aggregate", false, "run the grid through the sweep path and print per-(algorithm, workload, n) aggregates over -seeds")
 	seedsFlag := flag.String("seeds", "1,2,3,4,5", "aggregate mode: comma-separated workload seeds")
 	csvOut := flag.Bool("csv", false, "aggregate mode: emit CSV (one row per group) instead of a table")
+	fanout := flag.Bool("fanout", false, "measure the broadcast hub's fan-out path instead of engine runs (also selects fan-out records under -compare)")
+	fanoutSubs := flag.String("fanout-subs", "1,64,1024", "fanout mode: comma-separated subscriber counts")
+	fanoutRounds := flag.Int("fanout-rounds", 4096, "fanout mode: frames published per measured pass")
 	compare := flag.String("compare", "", "re-measure the grid of this BENCH_*.json and diff (CI perf gate)")
 	allocTh := flag.Float64("alloc-threshold", 0.25, "compare: max tolerated allocs/round regression (fraction)")
 	nsTh := flag.Float64("ns-threshold", 0, "compare: max tolerated ns/round regression (fraction; 0 = report only)")
@@ -118,8 +132,23 @@ func main() {
 			sizes:     sizes,
 			allocTh:   *allocTh,
 			nsTh:      *nsTh,
+			fanout:    *fanout,
 		})
 		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *fanout {
+		var subs []int
+		for _, s := range strings.Split(*fanoutSubs, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad subscriber count %q", s))
+			}
+			subs = append(subs, v)
+		}
+		if err := runFanout(subs, *fanoutRounds, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -188,6 +217,17 @@ type perfRecord struct {
 	// where they decode as zero and are ignored by -compare.
 	Workers            int     `json:"workers"`
 	ParallelEfficiency float64 `json:"parallel_efficiency"`
+	// Fan-out records (-fanout, Algorithm "broadcast-hub") measure the
+	// encode-once streaming hub instead of an engine run: Subscribers
+	// concurrent drains over Rounds published frames. EncodesPerRound
+	// is the hub's marshal count per published frame — 1.0 when the
+	// encode-once invariant holds, regardless of Subscribers —
+	// FanoutBytesPerRound the encoded bytes delivered per frame across
+	// all subscribers. Zero on engine records; engine fields Workers
+	// and ParallelEfficiency are zero on fan-out records.
+	Subscribers         int     `json:"subscribers,omitempty"`
+	EncodesPerRound     float64 `json:"encodes_per_round,omitempty"`
+	FanoutBytesPerRound float64 `json:"fanout_bytes_per_round,omitempty"`
 }
 
 // runPerf executes the algorithm × workload × size grid — enumerated
@@ -266,6 +306,57 @@ func measure(r *expt.Runner, cell expt.Cell) (perfRecord, error) {
 	}, nil
 }
 
+// runFanout measures the broadcast hub's fan-out path at each
+// subscriber count and emits the records — the encode-once headline
+// numbers: encodes/round stays 1.0 while subscribers grow, so the
+// per-subscriber cost is a raw byte write, not a marshal.
+func runFanout(subs []int, rounds int, asJSON bool) error {
+	var records []perfRecord
+	for _, s := range subs {
+		records = append(records, measureFanout(rounds, s))
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
+	}
+	fmt.Printf("%-14s %6s %8s | %10s %12s %10s %14s\n",
+		"algorithm", "subs", "rounds", "ns/round", "allocs/round", "enc/round", "fanout B/round")
+	for _, r := range records {
+		fmt.Printf("%-14s %6d %8d | %10.0f %12.1f %10.2f %14.0f\n",
+			r.Algorithm, r.Subscribers, r.Rounds,
+			r.NsPerRound, r.AllocsPerRound, r.EncodesPerRound, r.FanoutBytesPerRound)
+	}
+	return nil
+}
+
+// measureFanout times one fan-out pass: rounds frames published to a
+// hub drained by subs concurrent readers. One untimed warm-up pass
+// absorbs lazy-init costs, mirroring measure.
+func measureFanout(rounds, subs int) perfRecord {
+	service.RunFanoutBench(64, subs)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res := service.RunFanoutBench(rounds, subs)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return perfRecord{
+		Algorithm:           "broadcast-hub",
+		Workload:            "fanout",
+		N:                   rounds,
+		Rounds:              rounds,
+		TotalNs:             elapsed.Nanoseconds(),
+		NsPerRound:          float64(elapsed.Nanoseconds()) / float64(rounds),
+		AllocsPerRound:      float64(after.Mallocs-before.Mallocs) / float64(rounds),
+		BytesPerRound:       float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+		Subscribers:         subs,
+		EncodesPerRound:     float64(res.Encodes) / float64(rounds),
+		FanoutBytesPerRound: float64(res.FannedBytes) / float64(rounds),
+	}
+}
+
 // runAggregate executes the grid on the sweep fleet and prints the
 // per-(algorithm, workload, n) statistics over seeds — the paper's
 // table shape, computed exactly like the server's aggregate endpoint.
@@ -306,9 +397,16 @@ type compareFilter struct {
 	sizes     []int
 	allocTh   float64
 	nsTh      float64
+	// fanout selects the broadcast-hub fan-out records instead of the
+	// engine records: a plain -compare never re-measures fan-out rows,
+	// -fanout -compare re-measures only them.
+	fanout bool
 }
 
 func (f compareFilter) keep(rec perfRecord) bool {
+	if (rec.Subscribers > 0) != f.fanout {
+		return false
+	}
 	if f.algos != nil && !f.algos[rec.Algorithm] {
 		return false
 	}
@@ -356,11 +454,28 @@ func runCompare(f compareFilter) error {
 			continue
 		}
 		kept++
-		cur, err := measure(r, expt.Cell{
-			Algorithm: base.Algorithm, Workload: base.Workload, N: base.N, Seed: base.Seed,
-		})
-		if err != nil {
-			return fmt.Errorf("%s/%s n=%d: %w", base.Algorithm, base.Workload, base.N, err)
+		var cur perfRecord
+		var id string
+		if f.fanout {
+			cur = measureFanout(base.Rounds, base.Subscribers)
+			id = fmt.Sprintf("%s/%s subs=%d", base.Algorithm, base.Workload, base.Subscribers)
+			// The encode-once invariant is the whole point of the hub:
+			// any growth in marshals per published frame is a hard
+			// regression no matter how cheap each marshal is.
+			if cur.EncodesPerRound > base.EncodesPerRound*1.001 {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: encodes/round %.3f, baseline %.3f — encode-once invariant broken",
+						id, cur.EncodesPerRound, base.EncodesPerRound))
+			}
+		} else {
+			var err error
+			cur, err = measure(r, expt.Cell{
+				Algorithm: base.Algorithm, Workload: base.Workload, N: base.N, Seed: base.Seed,
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s n=%d: %w", base.Algorithm, base.Workload, base.N, err)
+			}
+			id = fmt.Sprintf("%s/%s n=%d", base.Algorithm, base.Workload, base.N)
 		}
 		dNs := delta(base.NsPerRound, cur.NsPerRound)
 		dAllocs := delta(base.AllocsPerRound, cur.AllocsPerRound)
@@ -368,7 +483,6 @@ func runCompare(f compareFilter) error {
 			base.Algorithm, base.Workload, base.N,
 			base.NsPerRound, cur.NsPerRound, 100*dNs,
 			base.AllocsPerRound, cur.AllocsPerRound, 100*dAllocs)
-		id := fmt.Sprintf("%s/%s n=%d", base.Algorithm, base.Workload, base.N)
 		if dAllocs > f.allocTh {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: allocs/round %+.1f%% (threshold %.0f%%)", id, 100*dAllocs, 100*f.allocTh))

@@ -14,6 +14,8 @@
 //	    -d '{"algorithm":"graph-to-star","workload":"line","n":1024,"seed":7}'
 //	curl -s localhost:8080/v1/runs/<id>
 //	curl -sN localhost:8080/v1/runs/<id>/rounds
+//	curl -sN localhost:8080/v1/runs/<id>/topology
+//	curl -sN 'localhost:8080/v1/runs/<id>/topology?format=packed'
 //	curl -s -X POST localhost:8080/v1/sweeps \
 //	    -d '{"algorithms":["graph-to-star"],"workloads":["line","ring"],
 //	         "sizes":[256,1024],"seeds":[1,2,3]}'
@@ -68,6 +70,8 @@ func main() {
 	sweeps := flag.Int("sweeps", 2, "concurrent sweeps before 503")
 	sweepTimeLimit := flag.Duration("sweep-time-limit", 10*time.Minute, "wall-clock budget per sweep job")
 	retainSweeps := flag.Int("retain-sweeps", 64, "finished sweep jobs kept queryable")
+	retainFrameBytes := flag.Int64("retain-frame-bytes", 4<<20, "encoded NDJSON frame bytes retained per stream (negative = unbounded)")
+	streamWriteTimeout := flag.Duration("stream-write-timeout", 30*time.Second, "per-batch write deadline on streaming endpoints; stalled subscribers are dropped (negative = none)")
 	coordinator := flag.Bool("coordinator", false, "coordinator mode: shard sweep grids across registered worker servers instead of the local engine fleet")
 	fleetWorkers := flag.String("fleet-workers", "", "coordinator mode: comma-separated worker base URLs registered at startup (more can join via POST /v1/fleet/workers)")
 	logFormat := flag.String("log-format", "text", "log line format: text or json")
@@ -118,6 +122,8 @@ func main() {
 		MaxConcurrentSweeps: *sweeps,
 		SweepTimeLimit:      *sweepTimeLimit,
 		RetainSweeps:        *retainSweeps,
+		RetainFrameBytes:    *retainFrameBytes,
+		StreamWriteTimeout:  *streamWriteTimeout,
 		Metrics:             reg,
 		Logger:              logger,
 	})

@@ -548,7 +548,8 @@ func TestHealthzShape(t *testing.T) {
 	json.Unmarshal(health["stats"], &stats)
 	requireKeys(t, stats, "healthz stats",
 		"workers", "queue_depth", "queued", "jobs", "sweeps", "runs_executed",
-		"cache_size", "cache_hits", "cache_misses", "uptime_seconds", "go_version")
+		"cache_size", "cache_hits", "cache_misses", "stream_bytes",
+		"uptime_seconds", "go_version")
 	var goVersion string
 	json.Unmarshal(stats["go_version"], &goVersion)
 	if !strings.HasPrefix(goVersion, "go") {

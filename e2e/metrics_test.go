@@ -97,10 +97,22 @@ func TestFleetMetricsEndToEnd(t *testing.T) {
 	// cell counters sum to the grid size, engine runs to the executed
 	// count the coordinator's summary reported.
 	var workerCells, workerRuns, shardObs float64
+	var cellsEncoded, cellFramesSent, cellBytesSent, subsDropped float64
 	for _, w := range []string{w1, w2} {
 		wm := scrapeMetrics(t, w)
 		c, _ := wm.Sum("adnet_sweep_cells_total", nil)
 		workerCells += c
+		// Broadcast-hub counters: each worker's shard sweep published
+		// its cells through the hub (one encode per cell), and the
+		// coordinator drained them over GET /v1/sweeps/{id}/cells.
+		v, _ := wm.Value("adnet_stream_frames_encoded_total", map[string]string{"stream": "cells"})
+		cellsEncoded += v
+		v, _ = wm.Value("adnet_stream_frames_sent_total", map[string]string{"stream": "cells"})
+		cellFramesSent += v
+		v, _ = wm.Value("adnet_stream_bytes_sent_total", map[string]string{"stream": "cells"})
+		cellBytesSent += v
+		v, _ = wm.Sum("adnet_stream_subscribers_dropped_total", nil)
+		subsDropped += v
 		r, _ := wm.Value("adnet_engine_runs_total", nil)
 		workerRuns += r
 		if v, ok := wm.Value("adnet_http_request_duration_seconds_count",
@@ -124,6 +136,26 @@ func TestFleetMetricsEndToEnd(t *testing.T) {
 	}
 	if workerCells != cells {
 		t.Errorf("workers' cell counters sum to %v, want %d", workerCells, cells)
+	}
+	// Encode-once fan-out across the fleet: every cell was encoded
+	// exactly once on its worker, every encoded frame crossed the wire
+	// to the coordinator's merge tail, and no subscriber was dropped.
+	if cellsEncoded != cells {
+		t.Errorf("workers encoded %v cell frames, want %d (one per cell)", cellsEncoded, cells)
+	}
+	if cellFramesSent < cells {
+		t.Errorf("workers fanned out %v cell frames, want >= %d (coordinator tailed every shard)", cellFramesSent, cells)
+	}
+	if cellBytesSent <= 0 {
+		t.Errorf("workers fanned out %v cell bytes, want > 0", cellBytesSent)
+	}
+	if subsDropped != 0 {
+		t.Errorf("workers dropped %v stream subscribers, want 0", subsDropped)
+	}
+	// The coordinator republishes each merged cell through its own hub.
+	if v, _ := cm.Value("adnet_stream_frames_encoded_total",
+		map[string]string{"stream": "cells"}); v != cells {
+		t.Errorf("coordinator encoded %v merged cell frames, want %d", v, cells)
 	}
 	if workerRuns != float64(summary.Executed) {
 		t.Errorf("workers' engine runs sum to %v, want %d (summary.executed)", workerRuns, summary.Executed)

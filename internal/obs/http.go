@@ -154,6 +154,13 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the wrapped writer so http.ResponseController can
+// reach the connection's deadline controls (the streaming endpoints
+// set per-batch write deadlines through the middleware).
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
+}
+
 func (w *statusWriter) code() int {
 	if w.status == 0 {
 		return http.StatusOK

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"adnet/internal/expt"
 	"adnet/internal/fleet"
@@ -15,6 +16,8 @@ import (
 //	GET    /v1/runs                  list all known jobs
 //	GET    /v1/runs/{id}             job status + Outcome when finished
 //	GET    /v1/runs/{id}/rounds      NDJSON stream of per-round stats (replay + live tail)
+//	GET    /v1/runs/{id}/topology    NDJSON stream of per-round topology deltas
+//	                                 (?format=packed for delta-varint frames)
 //	DELETE /v1/runs/{id}             cancel a queued or running job
 //	POST   /v1/sweeps                submit a SweepSpec grid as a fire-and-forget job
 //	GET    /v1/sweeps                list all known sweep jobs
@@ -98,7 +101,23 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusNotFound, ErrNotFound)
 			return
 		}
-		streamNDJSON(w, r, &job.Stream().stream)
+		streamNDJSON(w, r, &job.Stream().stream, m.cfg.StreamWriteTimeout, m.metrics.roundsSub)
+	})
+	handle("GET /v1/runs/{id}/topology", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			streamNDJSON(w, r, &job.Topology().json, m.cfg.StreamWriteTimeout, m.metrics.topoSub)
+		case "packed":
+			streamNDJSON(w, r, &job.Topology().packed, m.cfg.StreamWriteTimeout, m.metrics.topoPackedSub)
+		default:
+			writeError(w, http.StatusBadRequest,
+				errors.New("service: unknown topology format (want json or packed)"))
+		}
 	})
 	handle("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
 		var spec SweepSpec
@@ -151,12 +170,12 @@ func NewHandler(m *Manager) http.Handler {
 		// A subscriber disconnect ends only this stream — the sweep
 		// keeps running for other subscribers. The summary line trails
 		// the cells once the sweep is terminal.
-		enc, done := streamNDJSON(w, r, &job.Stream().stream)
+		done := streamNDJSON(w, r, &job.Stream().stream, m.cfg.StreamWriteTimeout, m.metrics.cellsSub)
 		if !done {
 			return
 		}
 		if st := job.Status(); st.Summary != nil {
-			_ = enc.Encode(st.Summary)
+			_, _ = w.Write(jsonFrame(st.Summary))
 		}
 	})
 	handle("GET /v1/sweeps/{id}/aggregate", func(w http.ResponseWriter, r *http.Request) {
@@ -225,11 +244,20 @@ func NewHandler(m *Manager) http.Handler {
 }
 
 // streamNDJSON replays s to the client as NDJSON — full history from
-// cursor 0, then a live tail until the stream closes. It returns the
-// encoder and done=true when the stream was fully drained, done=false
-// when the client disconnected mid-stream; callers append trailing
-// lines (e.g. a sweep summary) only when done.
-func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, s *stream[T]) (enc *json.Encoder, done bool) {
+// cursor 0, then a live tail until the stream closes. The wire bytes
+// come from the stream's encode-once frame log: each published item
+// was marshaled exactly once, and every subscriber writes the same
+// immutable frames, so fan-out to N connections costs N writes but
+// one encode per item. It returns done=true when the stream was fully
+// drained, done=false when the subscriber was dropped mid-stream;
+// callers append trailing lines (e.g. a sweep summary) only when done.
+//
+// Backpressure: each write batch runs under writeTimeout (via
+// http.ResponseController). A subscriber that cannot drain a batch in
+// time fails its write and is dropped — the producer, publishing into
+// the shared frame log, is never blocked by a stalled reader, and
+// other subscribers keep tailing unaffected.
+func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, s *stream[T], writeTimeout time.Duration, sub subscriberObs) (done bool) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -238,19 +266,37 @@ func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, s *stream[T]) (
 		// Wait away and clients time out on a silent start.
 		flusher.Flush()
 	}
-	enc = json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	if sub.subscribers != nil {
+		sub.subscribers.Inc()
+		defer sub.subscribers.Dec()
+	}
 	cursor := 0
 	for {
-		batch, more := s.Wait(r.Context(), cursor)
+		batch, more := s.WaitFrames(r.Context(), cursor)
 		if !more {
-			return enc, r.Context().Err() == nil
+			return r.Context().Err() == nil
 		}
-		for _, item := range batch {
-			if err := enc.Encode(item); err != nil {
-				return enc, false
+		if writeTimeout > 0 {
+			// Errors are deliberately ignored: a ResponseWriter without
+			// deadline support (in-process tests) streams without one.
+			_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
+		var batchBytes int64
+		for _, frame := range batch {
+			if _, err := w.Write(frame); err != nil {
+				if sub.dropped != nil {
+					sub.dropped.Inc()
+				}
+				return false
 			}
+			batchBytes += int64(len(frame))
 		}
 		cursor += len(batch)
+		if sub.frames != nil {
+			sub.frames.Add(int64(len(batch)))
+			sub.bytes.Add(batchBytes)
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}

@@ -9,11 +9,13 @@ import (
 )
 
 // cacheEntry is the replayable product of one successful run: the
-// unified outcome plus the per-round statistics, so cache hits can
-// serve the NDJSON round stream as well as the summary.
+// unified outcome plus the per-round statistics and topology delta
+// frames, so cache hits can serve the NDJSON round and topology
+// streams as well as the summary.
 type cacheEntry struct {
 	Outcome expt.Outcome
 	Rounds  []temporal.RoundStats
+	Topo    []TopologyFrame
 }
 
 // resultCache is a fixed-capacity LRU over cacheEntry keyed by

@@ -79,6 +79,20 @@ type Config struct {
 	// (default 64). A retained sweep keeps its full cell stream in
 	// memory, so the bound is deliberately tighter than RetainJobs.
 	RetainSweeps int
+	// RetainFrameBytes bounds the encoded-frame log of each stream
+	// (default 4 MiB per stream; negative disables the bound). Beyond
+	// it the oldest encoded frames are evicted — the typed items stay,
+	// and a subscriber replaying the evicted range gets per-subscriber
+	// re-encoded frames, so no data is lost, only the shared-log
+	// memory is capped.
+	RetainFrameBytes int64
+	// StreamWriteTimeout is the per-write-batch deadline on the NDJSON
+	// streaming endpoints (default 30s; negative disables). A
+	// subscriber that cannot drain a batch within it is dropped — the
+	// backpressure policy that keeps one stalled reader from pinning
+	// connection buffers while the encode-once hub keeps every other
+	// subscriber live.
+	StreamWriteTimeout time.Duration
 	// Fleet, when set, runs the manager in coordinator mode: sweep
 	// grids are sharded across the coordinator's registered worker
 	// servers (internal/fleet) instead of the local engine fleet, the
@@ -131,6 +145,12 @@ func (c Config) withDefaults() Config {
 	if c.RetainSweeps <= 0 {
 		c.RetainSweeps = 64
 	}
+	if c.RetainFrameBytes == 0 {
+		c.RetainFrameBytes = 4 << 20
+	}
+	if c.StreamWriteTimeout == 0 {
+		c.StreamWriteTimeout = 30 * time.Second
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
@@ -149,6 +169,7 @@ type Job struct {
 	FromCache bool
 
 	stream *RoundStream
+	topo   *TopologyStream
 	cancel chan struct{}
 
 	mu         sync.Mutex
@@ -207,6 +228,9 @@ func (j *Job) Status() JobStatus {
 
 // Stream exposes the job's round stream for subscribers.
 func (j *Job) Stream() *RoundStream { return j.stream }
+
+// Topology exposes the job's topology delta stream for subscribers.
+func (j *Job) Topology() *TopologyStream { return j.topo }
 
 func (j *Job) setState(s JobState) {
 	j.mu.Lock()
@@ -324,7 +348,9 @@ func (m *Manager) Submit(spec RunSpec) (job *Job, cached bool, err error) {
 		j.outcome = &out
 		j.state = StateDone
 		j.finished = time.Now()
-		j.stream = newClosedStream(entry.Rounds)
+		j.stream = newClosedStream(entry.Rounds, m.frameBudget(), m.metrics.roundsObs)
+		j.topo = newClosedTopologyStream(entry.Topo, m.frameBudget(),
+			m.metrics.topoObs, m.metrics.topoPackedObs)
 		m.register(j)
 		m.retire(j)
 		m.metrics.runSubmissions.With("cached").Inc()
@@ -439,6 +465,11 @@ type Stats struct {
 	Coordinator  bool  `json:"coordinator"`
 	FleetWorkers int   `json:"fleet_workers"`
 	FleetHealthy int   `json:"fleet_healthy"`
+	// StreamBytes is the encoded NDJSON frame bytes currently retained
+	// by the broadcast hubs of every tracked job and sweep — the
+	// server's streaming memory footprint under the RetainFrameBytes
+	// bound.
+	StreamBytes int64 `json:"stream_bytes"`
 	// UptimeSeconds and GoVersion let probes distinguish a restarted
 	// server from a live one and audit the deployed toolchain.
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -451,6 +482,13 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	jobs := len(m.jobs)
 	sweeps := len(m.sweeps)
+	var streamBytes int64
+	for _, j := range m.jobs {
+		streamBytes += j.stream.FrameBytes() + j.topo.FrameBytes()
+	}
+	for _, j := range m.sweeps {
+		streamBytes += j.cells.FrameBytes()
+	}
 	m.mu.Unlock()
 	st := Stats{
 		Workers:       m.cfg.Workers,
@@ -462,6 +500,7 @@ func (m *Manager) Stats() Stats {
 		CacheSize:     size,
 		CacheHits:     hits,
 		CacheMisses:   misses,
+		StreamBytes:   streamBytes,
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		GoVersion:     runtime.Version(),
 	}
@@ -480,13 +519,23 @@ func (m *Manager) Fleet() *fleet.Coordinator { return m.cfg.Fleet }
 // dedup joins excluded) — the observable for "no re-simulation".
 func (m *Manager) RunsExecuted() int64 { return m.runsExecuted.Load() }
 
+// frameBudget maps the config's RetainFrameBytes to the stream bound
+// (negative config means unbounded, which the streams spell as 0).
+func (m *Manager) frameBudget() int64 {
+	if m.cfg.RetainFrameBytes < 0 {
+		return 0
+	}
+	return m.cfg.RetainFrameBytes
+}
+
 func (m *Manager) newJob(spec RunSpec, fromCache bool) *Job {
 	seq := m.seq.Add(1)
 	return &Job{
 		ID:        fmt.Sprintf("run-%06d-%s", seq, spec.keyHash()),
 		Spec:      spec,
 		FromCache: fromCache,
-		stream:    newRoundStream(),
+		stream:    newRoundStream(m.frameBudget(), m.metrics.roundsObs),
+		topo:      newTopologyStream(m.frameBudget(), m.metrics.topoObs, m.metrics.topoPackedObs),
 		cancel:    make(chan struct{}),
 		enqueued:  time.Now(),
 	}
@@ -527,6 +576,7 @@ func (m *Manager) execute(j *Job) {
 		}
 		m.mu.Unlock()
 		j.stream.close()
+		j.topo.close()
 		m.retire(j)
 	}()
 
@@ -554,6 +604,8 @@ func (m *Manager) execute(j *Job) {
 
 	opts := []sim.Option{
 		sim.WithRoundHook(func(ev sim.RoundEvent) { j.stream.publish(ev.Stats) }),
+		sim.WithStartHook(func(ev sim.StartEvent) { j.topo.publishHeader(ev.N, ev.Edges) }),
+		sim.WithDeltaHook(j.topo.publishDelta),
 		sim.WithCancel(ctx.Done()),
 		sim.WithRunObserver(m.metrics.observeRun),
 	}
@@ -574,7 +626,11 @@ func (m *Manager) execute(j *Job) {
 	case err == nil:
 		j.outcome = &out
 		j.mu.Unlock()
-		m.cache.Add(key, cacheEntry{Outcome: out, Rounds: j.stream.snapshot()})
+		m.cache.Add(key, cacheEntry{
+			Outcome: out,
+			Rounds:  j.stream.snapshot(),
+			Topo:    j.topo.Frames(),
+		})
 		j.setState(StateDone)
 	case errors.Is(err, sim.ErrCanceled) && wasCanceled(j.cancel):
 		j.err = fmt.Errorf("canceled by request: %w", err)

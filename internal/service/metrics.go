@@ -2,6 +2,7 @@ package service
 
 import (
 	"log/slog"
+	"time"
 
 	"adnet/internal/obs"
 	"adnet/internal/sim"
@@ -39,10 +40,38 @@ type metrics struct {
 	engineRounds     *obs.Histogram
 	engineRoundSecs  *obs.Histogram
 	engineEfficiency *obs.Histogram
+
+	// Broadcast hub. Producer side: one encode per published frame
+	// (latency histogram + counter by stream kind), re-encodes for
+	// subscribers replaying evicted ranges, frames evicted by the
+	// retention bound. Subscriber side: live subscriber gauge, frames
+	// and bytes fanned out, subscribers dropped by the backpressure
+	// policy (write deadline exceeded or connection gone mid-batch).
+	streamEncoded     *obs.CounterVec
+	streamEncodeSecs  *obs.Histogram
+	streamReencoded   *obs.CounterVec
+	streamEvicted     *obs.CounterVec
+	streamSubscribers *obs.GaugeVec
+	streamFramesSent  *obs.CounterVec
+	streamBytesSent   *obs.CounterVec
+	streamDropped     *obs.CounterVec
+
+	// Per-kind producer hooks handed to the streams at construction.
+	roundsObs, cellsObs, topoObs, topoPackedObs *streamObs
+	// Per-kind fan-out-side series, resolved once for the handlers.
+	roundsSub, cellsSub, topoSub, topoPackedSub subscriberObs
 }
 
+// Stream kind label values: one per NDJSON endpoint format.
+const (
+	streamRounds     = "rounds"
+	streamCells      = "cells"
+	streamTopo       = "topology"
+	streamTopoPacked = "topology_packed"
+)
+
 func newMetrics(reg *obs.Registry, logger *slog.Logger) *metrics {
-	return &metrics{
+	m := &metrics{
 		httpm: obs.NewHTTPMetrics(reg, logger),
 		runSubmissions: reg.CounterVec("adnet_run_submissions_total",
 			"Run submissions by resolution: new (enqueued), cached (served from the result cache), joined (coalesced with an identical in-flight run), rejected (queue full).",
@@ -77,6 +106,78 @@ func newMetrics(reg *obs.Registry, logger *slog.Logger) *metrics {
 		engineEfficiency: reg.Histogram("adnet_engine_parallel_efficiency_ratio",
 			"Per-run intra-round parallel efficiency: worker busy time over workers times wall-clock (1.0 for sequential runs).",
 			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}),
+		streamEncoded: reg.CounterVec("adnet_stream_frames_encoded_total",
+			"Frames encoded by the broadcast hub, by stream kind — one per published item regardless of subscriber count.",
+			"stream"),
+		streamEncodeSecs: reg.Histogram("adnet_stream_encode_duration_seconds",
+			"Per-frame encode latency in the broadcast hub (all stream kinds).",
+			obs.ExpBuckets(1e-7, 4, 12)),
+		streamReencoded: reg.CounterVec("adnet_stream_frames_reencoded_total",
+			"Frames re-encoded per subscriber replaying a range the retention bound already evicted, by stream kind.",
+			"stream"),
+		streamEvicted: reg.CounterVec("adnet_stream_frames_evicted_total",
+			"Frames evicted from the shared frame log by the retention byte bound, by stream kind.",
+			"stream"),
+		streamSubscribers: reg.GaugeVec("adnet_stream_subscribers",
+			"NDJSON subscribers currently attached, by stream kind.",
+			"stream"),
+		streamFramesSent: reg.CounterVec("adnet_stream_frames_sent_total",
+			"Encoded frames fanned out to subscribers, by stream kind.",
+			"stream"),
+		streamBytesSent: reg.CounterVec("adnet_stream_bytes_sent_total",
+			"Encoded bytes fanned out to subscribers, by stream kind.",
+			"stream"),
+		streamDropped: reg.CounterVec("adnet_stream_subscribers_dropped_total",
+			"Subscribers dropped by the backpressure policy (write deadline exceeded or write error), by stream kind.",
+			"stream"),
+	}
+	m.roundsObs = m.streamObsFor(streamRounds)
+	m.cellsObs = m.streamObsFor(streamCells)
+	m.topoObs = m.streamObsFor(streamTopo)
+	m.topoPackedObs = m.streamObsFor(streamTopoPacked)
+	m.roundsSub = m.subscriberObsFor(streamRounds)
+	m.cellsSub = m.subscriberObsFor(streamCells)
+	m.topoSub = m.subscriberObsFor(streamTopo)
+	m.topoPackedSub = m.subscriberObsFor(streamTopoPacked)
+	return m
+}
+
+// streamObsFor resolves one kind's series once so the per-frame path
+// is a pure Add/Observe.
+func (mt *metrics) streamObsFor(kind string) *streamObs {
+	encoded := mt.streamEncoded.With(kind)
+	reencoded := mt.streamReencoded.With(kind)
+	evictFrames := mt.streamEvicted.With(kind)
+	encodeSecs := mt.streamEncodeSecs
+	return &streamObs{
+		encoded: func(d time.Duration, frameBytes int) {
+			encoded.Inc()
+			encodeSecs.Observe(d.Seconds())
+		},
+		reencoded: func(frames int) {
+			reencoded.Add(int64(frames))
+		},
+		frameEvict: func(frames, bytes int) {
+			evictFrames.Add(int64(frames))
+		},
+	}
+}
+
+// subscriberObs bundles the fan-out-side series for one stream kind,
+// resolved once per connection by the streaming handlers.
+type subscriberObs struct {
+	subscribers *obs.Gauge
+	frames      *obs.Counter
+	bytes       *obs.Counter
+	dropped     *obs.Counter
+}
+
+func (mt *metrics) subscriberObsFor(kind string) subscriberObs {
+	return subscriberObs{
+		subscribers: mt.streamSubscribers.With(kind),
+		frames:      mt.streamFramesSent.With(kind),
+		bytes:       mt.streamBytesSent.With(kind),
+		dropped:     mt.streamDropped.With(kind),
 	}
 }
 

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -66,7 +67,7 @@ func TestHealthzWireShape(t *testing.T) {
 		"workers", "queue_depth", "queued", "jobs", "sweeps",
 		"runs_executed", "cache_size", "cache_hits", "cache_misses",
 		"coordinator", "fleet_workers", "fleet_healthy",
-		"uptime_seconds", "go_version",
+		"stream_bytes", "uptime_seconds", "go_version",
 	} {
 		if _, ok := raw.Stats[key]; !ok {
 			t.Errorf("healthz stats missing %q: %v", key, raw.Stats)
@@ -231,5 +232,71 @@ func TestRequestIDPropagatesToResponse(t *testing.T) {
 	resp.Body.Close()
 	if got := resp.Header.Get(obs.RequestIDHeader); len(got) != 16 {
 		t.Errorf("assigned request ID = %q, want 16 hex chars", got)
+	}
+}
+
+// TestMetricsCoverBroadcastHub pins the hub instrument family: one
+// encode per published frame regardless of subscribers, fan-out
+// counters moving with each subscriber, and the gauge returning to
+// zero after the streams drain.
+func TestMetricsCoverBroadcastHub(t *testing.T) {
+	t.Parallel()
+	srv, m := newTestServer(t, Config{Workers: 1})
+
+	sub, _ := postRun(t, srv, fastSpec(77))
+	awaitDone(t, srv, sub.Job.ID)
+	job, _ := m.Get(sub.Job.ID)
+	rounds := float64(job.Stream().Len())
+
+	// Two subscribers per stream kind: encodes must not double.
+	for i := 0; i < 2; i++ {
+		for _, path := range []string{"/rounds", "/topology", "/topology?format=packed"} {
+			resp, err := http.Get(srv.URL + "/v1/runs/" + sub.Job.ID + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+
+	mx := scrape(t, srv)
+	if v := metricValue(t, mx, "adnet_stream_frames_encoded_total",
+		map[string]string{"stream": "rounds"}); v != rounds {
+		t.Errorf("rounds encodes = %v, want %v (one per round, any subscriber count)", v, rounds)
+	}
+	// Topology encodes one header plus one delta per round, per format.
+	for _, kind := range []string{"topology", "topology_packed"} {
+		if v := metricValue(t, mx, "adnet_stream_frames_encoded_total",
+			map[string]string{"stream": kind}); v != rounds+1 {
+			t.Errorf("%s encodes = %v, want %v", kind, v, rounds+1)
+		}
+		if v := metricValue(t, mx, "adnet_stream_frames_sent_total",
+			map[string]string{"stream": kind}); v != 2*(rounds+1) {
+			t.Errorf("%s frames sent = %v, want %v (two subscribers)", kind, v, 2*(rounds+1))
+		}
+	}
+	if v := metricValue(t, mx, "adnet_stream_frames_sent_total",
+		map[string]string{"stream": "rounds"}); v != 2*rounds {
+		t.Errorf("rounds frames sent = %v, want %v", v, 2*rounds)
+	}
+	if v := metricValue(t, mx, "adnet_stream_bytes_sent_total",
+		map[string]string{"stream": "rounds"}); v <= 0 {
+		t.Errorf("rounds bytes sent = %v, want > 0", v)
+	}
+	if v := metricValue(t, mx, "adnet_stream_encode_duration_seconds_count", nil); v <= 0 {
+		t.Errorf("encode latency observations = %v, want > 0", v)
+	}
+	for _, kind := range []string{"rounds", "topology", "topology_packed"} {
+		if v := metricValue(t, mx, "adnet_stream_subscribers",
+			map[string]string{"stream": kind}); v != 0 {
+			t.Errorf("%s subscribers after drain = %v, want 0", kind, v)
+		}
+		if v := metricValue(t, mx, "adnet_stream_subscribers_dropped_total",
+			map[string]string{"stream": kind}); v != 0 {
+			t.Errorf("%s dropped = %v, want 0 (no stalled readers here)", kind, v)
+		}
 	}
 }

@@ -330,7 +330,7 @@ func TestManagerCloseRejectsSubmit(t *testing.T) {
 
 func TestRoundStreamReplayAndLiveTail(t *testing.T) {
 	t.Parallel()
-	s := newRoundStream()
+	s := newRoundStream(0, nil)
 	for i := 1; i <= 3; i++ {
 		s.publish(temporal.RoundStats{Round: i})
 	}
@@ -371,7 +371,7 @@ func TestRoundStreamReplayAndLiveTail(t *testing.T) {
 
 func TestRoundStreamWaitHonorsContext(t *testing.T) {
 	t.Parallel()
-	s := newRoundStream()
+	s := newRoundStream(0, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan bool, 1)
 	go func() {

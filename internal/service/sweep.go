@@ -90,13 +90,16 @@ type SweepStatus struct {
 	State JobState  `json:"state"`
 	// Cells is the grid volume; CellsDone counts cells already
 	// finished and streamed.
-	Cells      int           `json:"cells"`
-	CellsDone  int           `json:"cells_done"`
-	Summary    *SweepSummary `json:"summary,omitempty"`
-	Error      string        `json:"error,omitempty"`
-	EnqueuedAt time.Time     `json:"enqueued_at"`
-	StartedAt  *time.Time    `json:"started_at,omitempty"`
-	FinishedAt *time.Time    `json:"finished_at,omitempty"`
+	Cells     int `json:"cells"`
+	CellsDone int `json:"cells_done"`
+	// StreamBytes is the encoded NDJSON bytes currently retained in
+	// the sweep's cell-stream frame log (bounded by RetainFrameBytes).
+	StreamBytes int64         `json:"stream_bytes"`
+	Summary     *SweepSummary `json:"summary,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	EnqueuedAt  time.Time     `json:"enqueued_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
 }
 
 // Status snapshots the sweep job.
@@ -104,12 +107,13 @@ func (j *SweepJob) Status() SweepStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := SweepStatus{
-		ID:         j.ID,
-		Spec:       j.Spec,
-		State:      j.state,
-		Cells:      j.grid.NumCells(),
-		CellsDone:  j.cells.Len(),
-		EnqueuedAt: j.enqueued,
+		ID:          j.ID,
+		Spec:        j.Spec,
+		State:       j.state,
+		Cells:       j.grid.NumCells(),
+		CellsDone:   j.cells.Len(),
+		StreamBytes: j.cells.FrameBytes(),
+		EnqueuedAt:  j.enqueued,
 	}
 	if j.summary != nil {
 		s := *j.summary
@@ -234,7 +238,7 @@ func (m *Manager) newSweepJob(spec SweepSpec) *SweepJob {
 		ID:       fmt.Sprintf("sweep-%06d-%s", seq, runkey.ShortHash(spec.Key())),
 		Spec:     spec,
 		grid:     spec.Expt(),
-		cells:    newCellStream(),
+		cells:    newCellStream(m.frameBudget(), m.metrics.cellsObs),
 		cancel:   make(chan struct{}),
 		state:    StateQueued,
 		enqueued: time.Now(),

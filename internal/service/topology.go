@@ -1,0 +1,184 @@
+package service
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+
+	"adnet/internal/temporal"
+)
+
+// TopologyFrame is one NDJSON line of the GET /v1/runs/{id}/topology
+// stream: the compact per-round reconfiguration delta a subscriber
+// replays to reconstruct D(i) without the server ever materializing
+// full adjacency per subscriber.
+//
+// The first frame is the header (Round 0): the node count and the
+// initial active edge set E(1). Every following frame carries round
+// i's committed activations and deactivations. Edge lists are flat
+// slot pairs [a0,b0,a1,b1,...] in ascending canonical edge order,
+// where a slot is a node's ascending-ID rank — the engine applies
+// reconfiguration deterministically in exactly this order, so the
+// deltas are a complete, canonical wire format for the dynamic graph.
+type TopologyFrame struct {
+	Round int `json:"round"`
+	// Header fields (Round 0 only).
+	N     int     `json:"n,omitempty"`
+	Edges []int32 `json:"edges,omitempty"`
+	// Delta fields (Round >= 1).
+	Activate   []int32 `json:"activate,omitempty"`
+	Deactivate []int32 `json:"deactivate,omitempty"`
+}
+
+// packedTopologyFrame is the format=packed rendering of the same
+// frame: the slot pairs are delta-varint packed (see packPairs) and
+// base64'd into a single string field, cutting frame bytes by 3-6x on
+// dense rounds while staying one JSON line per round.
+type packedTopologyFrame struct {
+	Round int    `json:"round"`
+	N     int    `json:"n,omitempty"`
+	P     string `json:"p"`
+}
+
+// packedFrame is the frame encoder of the packed topology stream. The
+// header packs its initial edge list; delta frames pack activations
+// then deactivations (each length-prefixed).
+func packedFrame(f TopologyFrame) []byte {
+	var buf []byte
+	if f.Round == 0 {
+		buf = packPairs(nil, f.Edges)
+	} else {
+		buf = packPairs(nil, f.Activate)
+		buf = packPairs(buf, f.Deactivate)
+	}
+	return jsonFrame(packedTopologyFrame{
+		Round: f.Round,
+		N:     f.N,
+		P:     base64.StdEncoding.EncodeToString(buf),
+	})
+}
+
+// packPairs appends one length-prefixed, delta-varint packed edge
+// list to buf: uvarint(#pairs), then per pair uvarint(a_i - a_{i-1})
+// (the first slots are ascending in canonical order, so consecutive
+// deltas are small) followed by uvarint(b_i - a_i) (b > a for
+// canonical pairs). pairs is flat [a0,b0,a1,b1,...].
+func packPairs(buf []byte, pairs []int32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(pairs)/2))
+	prevA := int32(0)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		a, b := pairs[i], pairs[i+1]
+		buf = binary.AppendUvarint(buf, uint64(a-prevA))
+		buf = binary.AppendUvarint(buf, uint64(b-a))
+		prevA = a
+	}
+	return buf
+}
+
+// unpackPairs reads one packed edge list from buf, returning the flat
+// slot pairs and the remaining bytes. It is the inverse of packPairs;
+// the topology differential tests replay packed streams through it.
+func unpackPairs(buf []byte) ([]int32, []byte, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("service: packed frame: bad pair count")
+	}
+	buf = buf[n:]
+	pairs := make([]int32, 0, 2*count)
+	prevA := int32(0)
+	for i := uint64(0); i < count; i++ {
+		da, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("service: packed frame: truncated pair %d", i)
+		}
+		buf = buf[n:]
+		db, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("service: packed frame: truncated pair %d", i)
+		}
+		buf = buf[n:]
+		a := prevA + int32(da)
+		pairs = append(pairs, a, a+int32(db))
+		prevA = a
+	}
+	return pairs, buf, nil
+}
+
+// TopologyStream is the per-job publication channel for topology
+// delta frames. It is two encode-once hubs over the same frames — one
+// per wire format (plain JSON and format=packed) — so a round costs
+// exactly one marshal per format regardless of subscriber count, and
+// a closed lazy replay (cache hit) encodes a format only when its
+// first subscriber arrives.
+type TopologyStream struct {
+	json   stream[TopologyFrame]
+	packed stream[TopologyFrame]
+}
+
+func newTopologyStream(maxFrameBytes int64, jsonObs, packedObs *streamObs) *TopologyStream {
+	ts := &TopologyStream{}
+	ts.json.init()
+	ts.json.maxFrameBytes = maxFrameBytes
+	ts.json.obs = jsonObs
+	ts.packed.init()
+	ts.packed.maxFrameBytes = maxFrameBytes
+	ts.packed.enc = packedFrame
+	ts.packed.obs = packedObs
+	return ts
+}
+
+// newClosedTopologyStream builds the replay source for cache-hit jobs:
+// both sides are pre-closed over the shared frame slice, with encoded
+// frames built lazily on the first subscriber of each format.
+func newClosedTopologyStream(frames []TopologyFrame, maxFrameBytes int64, jsonObs, packedObs *streamObs) *TopologyStream {
+	ts := newTopologyStream(maxFrameBytes, jsonObs, packedObs)
+	ts.json.items = frames
+	ts.json.done = true
+	ts.json.lazyFrames = true
+	ts.packed.items = frames
+	ts.packed.done = true
+	ts.packed.lazyFrames = true
+	return ts
+}
+
+// publish appends one frame to both formats.
+func (ts *TopologyStream) publish(f TopologyFrame) {
+	ts.json.publish(f)
+	ts.packed.publish(f)
+}
+
+// publishHeader emits the round-0 header from a sim.StartEvent's
+// scratch edge slice (copied — the engine reuses it).
+func (ts *TopologyStream) publishHeader(n int, edges []int32) {
+	ts.publish(TopologyFrame{
+		Round: 0,
+		N:     n,
+		Edges: append([]int32(nil), edges...),
+	})
+}
+
+// publishDelta emits one round's delta from the History's scratch
+// (copied — the engine reuses it next round). Rounds with no
+// reconfiguration still emit a frame: the stream is the round clock,
+// and an empty delta is two bytes of payload.
+func (ts *TopologyStream) publishDelta(d temporal.RoundDelta) {
+	ts.publish(TopologyFrame{
+		Round:      d.Round,
+		Activate:   append([]int32(nil), d.Activate...),
+		Deactivate: append([]int32(nil), d.Deactivate...),
+	})
+}
+
+func (ts *TopologyStream) close() {
+	ts.json.close()
+	ts.packed.close()
+}
+
+// Frames snapshots the typed frames for cache storage.
+func (ts *TopologyStream) Frames() []TopologyFrame { return ts.json.snapshot() }
+
+// FrameBytes is the stream's retained encoded bytes across both
+// formats.
+func (ts *TopologyStream) FrameBytes() int64 {
+	return ts.json.FrameBytes() + ts.packed.FrameBytes()
+}

@@ -1,0 +1,351 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"testing"
+
+	"adnet/internal/baseline"
+	"adnet/internal/core"
+	"adnet/internal/expt"
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+)
+
+func TestPackPairsRoundTrip(t *testing.T) {
+	t.Parallel()
+	cases := [][]int32{
+		nil,
+		{0, 1},
+		{0, 1, 0, 5, 2, 3, 2, 100, 7, 8},
+		{5, 4000, 5, 4001, 4000, 4001},
+	}
+	for _, pairs := range cases {
+		buf := packPairs(nil, pairs)
+		got, rest, err := unpackPairs(buf)
+		if err != nil {
+			t.Fatalf("unpack(%v): %v", pairs, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("unpack(%v) left %d bytes", pairs, len(rest))
+		}
+		if len(got) != len(pairs) {
+			t.Fatalf("roundtrip(%v) = %v", pairs, got)
+		}
+		for i := range pairs {
+			if got[i] != pairs[i] {
+				t.Fatalf("roundtrip(%v) = %v", pairs, got)
+			}
+		}
+	}
+	// Two lists appended back to back unpack in sequence.
+	buf := packPairs(nil, []int32{0, 2, 1, 3})
+	buf = packPairs(buf, []int32{4, 9})
+	first, rest, err := unpackPairs(buf)
+	if err != nil || len(first) != 4 {
+		t.Fatalf("first list = %v, %v", first, err)
+	}
+	second, rest, err := unpackPairs(rest)
+	if err != nil || len(second) != 2 || len(rest) != 0 {
+		t.Fatalf("second list = %v, rest=%d, %v", second, len(rest), err)
+	}
+	if _, _, err := unpackPairs([]byte{}); err == nil {
+		t.Error("unpack of empty buffer should fail")
+	}
+}
+
+// edgeSet replays topology frames into the active slot-pair edge set.
+type edgeSet map[[2]int32]bool
+
+func (es edgeSet) apply(t *testing.T, round int, activate, deactivate []int32) {
+	t.Helper()
+	for i := 0; i+1 < len(activate); i += 2 {
+		k := [2]int32{activate[i], activate[i+1]}
+		if es[k] {
+			t.Fatalf("round %d activates already-active edge %v", round, k)
+		}
+		es[k] = true
+	}
+	for i := 0; i+1 < len(deactivate); i += 2 {
+		k := [2]int32{deactivate[i], deactivate[i+1]}
+		if !es[k] {
+			t.Fatalf("round %d deactivates inactive edge %v", round, k)
+		}
+		delete(es, k)
+	}
+}
+
+func (es edgeSet) sorted() [][2]int32 {
+	out := make([][2]int32, 0, len(es))
+	for k := range es {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// finalSlotPairs renders a graph as the sorted slot-pair set the
+// topology stream's deltas should reconstruct.
+func finalSlotPairs(g *graph.Graph) [][2]int32 {
+	var out [][2]int32
+	n := g.NumNodes()
+	for su := 0; su < n; su++ {
+		u := g.IDAt(su)
+		g.EachNeighbor(u, func(v graph.ID) bool {
+			if sv, _ := g.Slot(v); sv > su {
+				out = append(out, [2]int32{int32(su), int32(sv)})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// replayTopologyJSON drains a closed json-format topology stream and
+// replays header + deltas into the reconstructed edge set.
+func replayTopologyJSON(t *testing.T, s *stream[TopologyFrame], wantN int) edgeSet {
+	t.Helper()
+	es := make(edgeSet)
+	cursor, next := 0, 0
+	for {
+		batch, ok := s.WaitFrames(context.Background(), cursor)
+		if !ok {
+			return es
+		}
+		for _, line := range batch {
+			var f TopologyFrame
+			if err := json.Unmarshal(line, &f); err != nil {
+				t.Fatalf("bad frame %q: %v", line, err)
+			}
+			if f.Round != next {
+				t.Fatalf("frame round %d, want %d (no gaps, no reorder)", f.Round, next)
+			}
+			next++
+			if f.Round == 0 {
+				if f.N != wantN {
+					t.Fatalf("header n=%d, want %d", f.N, wantN)
+				}
+				es.apply(t, 0, f.Edges, nil)
+				continue
+			}
+			es.apply(t, f.Round, f.Activate, f.Deactivate)
+		}
+		cursor += len(batch)
+	}
+}
+
+// replayTopologyPacked does the same through the format=packed wire.
+func replayTopologyPacked(t *testing.T, s *stream[TopologyFrame], wantN int) edgeSet {
+	t.Helper()
+	es := make(edgeSet)
+	cursor, next := 0, 0
+	for {
+		batch, ok := s.WaitFrames(context.Background(), cursor)
+		if !ok {
+			return es
+		}
+		for _, line := range batch {
+			var f packedTopologyFrame
+			if err := json.Unmarshal(line, &f); err != nil {
+				t.Fatalf("bad packed frame %q: %v", line, err)
+			}
+			if f.Round != next {
+				t.Fatalf("packed frame round %d, want %d", f.Round, next)
+			}
+			next++
+			payload, err := base64.StdEncoding.DecodeString(f.P)
+			if err != nil {
+				t.Fatalf("round %d: bad base64: %v", f.Round, err)
+			}
+			if f.Round == 0 {
+				if f.N != wantN {
+					t.Fatalf("packed header n=%d, want %d", f.N, wantN)
+				}
+				edges, rest, err := unpackPairs(payload)
+				if err != nil || len(rest) != 0 {
+					t.Fatalf("header unpack: %v (rest=%d)", err, len(rest))
+				}
+				es.apply(t, 0, edges, nil)
+				continue
+			}
+			act, rest, err := unpackPairs(payload)
+			if err != nil {
+				t.Fatalf("round %d: activate unpack: %v", f.Round, err)
+			}
+			deact, rest, err := unpackPairs(rest)
+			if err != nil || len(rest) != 0 {
+				t.Fatalf("round %d: deactivate unpack: %v (rest=%d)", f.Round, err, len(rest))
+			}
+			es.apply(t, f.Round, act, deact)
+		}
+		cursor += len(batch)
+	}
+}
+
+// TestTopologyDeltaReconstruction is the differential test for the
+// delta wire format: for every distributed algorithm, a subscriber
+// replaying the stream's header + per-round deltas — in both the json
+// and packed formats — must reconstruct exactly the final D(i) the
+// engine's History holds.
+func TestTopologyDeltaReconstruction(t *testing.T) {
+	t.Parallel()
+	const n = 48
+	algos := []struct {
+		name    string
+		factory sim.Factory
+		opts    []sim.Option
+	}{
+		{name: expt.AlgoStar, factory: core.NewGraphToStarFactory()},
+		{name: expt.AlgoWreath, factory: core.NewGraphToWreathFactory(),
+			opts: []sim.Option{sim.WithMaxRounds(core.WreathMaxRounds(n, core.WreathBranching(n, false)))}},
+		{name: expt.AlgoThinWreath, factory: core.NewGraphToThinWreathFactory(),
+			opts: []sim.Option{sim.WithMaxRounds(core.WreathMaxRounds(n, core.WreathBranching(n, true)))}},
+		{name: expt.AlgoClique, factory: baseline.NewCliqueFactory()},
+		{name: expt.AlgoFlood, factory: baseline.NewFloodFactory()},
+	}
+	for _, algo := range algos {
+		for _, workload := range []string{"line", "random-tree"} {
+			t.Run(fmt.Sprintf("%s/%s", algo.name, workload), func(t *testing.T) {
+				t.Parallel()
+				g, err := expt.Workload(workload, n, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ts := newTopologyStream(0, nil, nil)
+				opts := append([]sim.Option{
+					sim.WithStartHook(func(ev sim.StartEvent) { ts.publishHeader(ev.N, ev.Edges) }),
+					sim.WithDeltaHook(ts.publishDelta),
+				}, algo.opts...)
+				res, err := sim.Run(g, algo.factory, opts...)
+				if err != nil {
+					t.Fatalf("%s run: %v", algo.name, err)
+				}
+				ts.close()
+
+				want := finalSlotPairs(res.History.CurrentView())
+				frames := ts.Frames()
+				if len(frames) == 0 || frames[0].Round != 0 {
+					t.Fatal("stream must start with the round-0 header")
+				}
+				if got := len(frames) - 1; got != res.Rounds {
+					t.Errorf("stream carries %d delta frames, want one per round (%d)", got, res.Rounds)
+				}
+
+				for name, got := range map[string][][2]int32{
+					"json":   replayTopologyJSON(t, &ts.json, n).sorted(),
+					"packed": replayTopologyPacked(t, &ts.packed, n).sorted(),
+				} {
+					if len(got) != len(want) {
+						t.Fatalf("%s replay: %d edges, want %d", name, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s replay: edge[%d] = %v, want %v", name, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAPITopologyEndpoint exercises GET /v1/runs/{id}/topology over
+// HTTP: the json body must be the frame-log rendering line for line, a
+// cache-hit replay job must serve a byte-identical stream, the packed
+// format must reconstruct the same edge set, and an unknown format is
+// a 400.
+func TestAPITopologyEndpoint(t *testing.T) {
+	t.Parallel()
+	srv, m := newTestServer(t, Config{Workers: 1})
+
+	sub, code := postRun(t, srv, fastSpec(55))
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	awaitDone(t, srv, sub.Job.ID)
+	job, _ := m.Get(sub.Job.ID)
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	body := get("/v1/runs/" + sub.Job.ID + "/topology")
+	var want bytes.Buffer
+	frames := job.Topology().Frames()
+	if len(frames) == 0 {
+		t.Fatal("job published no topology frames")
+	}
+	for _, f := range frames {
+		want.Write(jsonFrame(f))
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Error("topology endpoint body differs from the frame-log rendering")
+	}
+
+	// The header must carry the run's n, and deltas one frame per round.
+	var header TopologyFrame
+	if err := json.Unmarshal(body[:bytes.IndexByte(body, '\n')+1], &header); err != nil {
+		t.Fatal(err)
+	}
+	if header.Round != 0 || header.N != fastSpec(55).N {
+		t.Errorf("header = %+v", header)
+	}
+
+	// Packed format reconstructs the same final edge set.
+	packedBody := get("/v1/runs/" + sub.Job.ID + "/topology?format=packed")
+	if len(packedBody) >= len(body) {
+		t.Errorf("packed body (%d bytes) not smaller than json body (%d bytes)", len(packedBody), len(body))
+	}
+	jsonSet := replayTopologyJSON(t, &job.Topology().json, header.N).sorted()
+	packedSet := replayTopologyPacked(t, &job.Topology().packed, header.N).sorted()
+	if len(jsonSet) != len(packedSet) {
+		t.Fatalf("json and packed reconstructions disagree: %d vs %d edges", len(jsonSet), len(packedSet))
+	}
+	for i := range jsonSet {
+		if jsonSet[i] != packedSet[i] {
+			t.Fatalf("edge[%d]: json %v, packed %v", i, jsonSet[i], packedSet[i])
+		}
+	}
+
+	// A cache hit serves a byte-identical topology replay.
+	cachedSub, code := postRun(t, srv, fastSpec(55))
+	if code != http.StatusOK || !cachedSub.Cached {
+		t.Fatalf("resubmit = (%d, cached=%v), want cache hit", code, cachedSub.Cached)
+	}
+	if cachedBody := get("/v1/runs/" + cachedSub.Job.ID + "/topology"); !bytes.Equal(cachedBody, body) {
+		t.Error("cache-hit topology replay is not byte-identical to the original stream")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/runs/" + sub.Job.ID + "/topology?format=protobuf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format = %d, want 400", resp.StatusCode)
+	}
+}

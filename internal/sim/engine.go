@@ -78,6 +78,12 @@ type Engine struct {
 	bfs graph.BFSScratch // connectivity checks without per-call allocation
 	res *Result          // reused across runs; see Ownership above
 
+	// delta and initSlots are the scratch behind WithDeltaHook /
+	// WithStartHook: filled only when hooks are registered, reused
+	// across rounds and runs.
+	delta     temporal.RoundDelta
+	initSlots []int32
+
 	// Machine recycling (WithMachineRecycling): the key and size of the
 	// previous run, used to decide whether machines can be Recycled in
 	// place instead of rebuilt.
@@ -283,6 +289,12 @@ func (e *Engine) Run() (*Result, error) {
 		ctxs[i].round = 0
 		machines[i].Init(ctxs[i])
 	}
+	if len(cfg.startHooks) > 0 {
+		e.initSlots = hist.AppendInitialEdges(e.initSlots)
+		for _, hook := range cfg.startHooks {
+			hook(StartEvent{N: n, Edges: e.initSlots})
+		}
+	}
 
 	totalMsgs, maxMsgs := 0, 0
 	for round := 1; round <= cfg.maxRounds; round++ {
@@ -362,6 +374,12 @@ func (e *Engine) Run() (*Result, error) {
 		}
 		for _, hook := range cfg.hooks {
 			hook(RoundEvent{Round: round, Messages: e.delivered, Stats: stats})
+		}
+		if len(cfg.deltaHooks) > 0 {
+			hist.AppendLastDelta(&e.delta)
+			for _, hook := range cfg.deltaHooks {
+				hook(e.delta)
+			}
 		}
 
 		allHalted := true

@@ -112,11 +112,22 @@ type RoundEvent struct {
 	Stats    temporal.RoundStats
 }
 
+// StartEvent is passed to start hooks after the Init phase, before
+// round 1: the static node count and the initial active edge set E(1)
+// as flat slot pairs in ascending canonical order. The Edges slice is
+// engine scratch — hooks that retain it must copy.
+type StartEvent struct {
+	N     int
+	Edges []int32
+}
+
 type config struct {
 	maxRounds    int
 	parallelism  int
 	checkConnect bool
 	hooks        []func(RoundEvent)
+	startHooks   []func(StartEvent)
+	deltaHooks   []func(temporal.RoundDelta)
 	trace        bool
 	done         <-chan struct{}
 	observer     func(RunSummary)
@@ -145,6 +156,24 @@ func WithConnectivityCheck() Option { return func(c *config) { c.checkConnect = 
 // instrumentation in internal/bounds).
 func WithRoundHook(fn func(RoundEvent)) Option {
 	return func(c *config) { c.hooks = append(c.hooks, fn) }
+}
+
+// WithStartHook registers a callback invoked once per run, after Init
+// and before round 1, with the node count and the initial edge set as
+// slot pairs. Together with WithDeltaHook it gives stream producers
+// everything a remote client needs to reconstruct D(i) live.
+func WithStartHook(fn func(StartEvent)) Option {
+	return func(c *config) { c.startHooks = append(c.startHooks, fn) }
+}
+
+// WithDeltaHook registers a callback invoked after every round with
+// that round's committed activations/deactivations as slot pairs
+// (temporal.RoundDelta). The delta's slices are History scratch reused
+// on the next round: hooks that retain them must copy. The conversion
+// runs only when at least one delta hook is registered, so the plain
+// round loop stays untouched.
+func WithDeltaHook(fn func(temporal.RoundDelta)) Option {
+	return func(c *config) { c.deltaHooks = append(c.deltaHooks, fn) }
 }
 
 // WithTrace records full per-round edge lists in the History.

@@ -102,6 +102,26 @@ type History struct {
 	shards     []applyShard
 	heads      []int // k-way merge cursors, one per shard
 	validateFn func(k int)
+
+	// lastActs/lastDeacts alias the committed edge lists of the most
+	// recently applied round (scratch storage, overwritten by the next
+	// Apply). They back AppendLastDelta, the allocation-free per-round
+	// diff export the live topology stream is built on.
+	lastActs   []graph.Edge
+	lastDeacts []graph.Edge
+}
+
+// RoundDelta is the compact reconfiguration record of one round: the
+// committed activations and deactivations as flat slot pairs
+// [a0,b0,a1,b1,...] in ascending canonical edge order. Slots are
+// ascending-ID ranks (see SlotOf), so a client holding the initial
+// slot-pair edge list can replay deltas round by round and reconstruct
+// D(i) exactly — trace order is canonical and Apply is deterministic,
+// which is what makes the per-round diff a sufficient wire format.
+type RoundDelta struct {
+	Round      int
+	Activate   []int32
+	Deactivate []int32
 }
 
 // IntentBatch is one caller's (typically one engine worker's) edge
@@ -166,6 +186,8 @@ func (h *History) Reset(gs *graph.Graph) {
 	h.trace = false
 	h.traceAct = h.traceAct[:0]
 	h.traceDeact = h.traceDeact[:0]
+	h.lastActs = nil
+	h.lastDeacts = nil
 }
 
 // EnableTrace records the full per-round activation/deactivation edge
@@ -508,7 +530,51 @@ func (h *History) applyShards(k int, parallel func(n int, fn func(k int))) (Roun
 	// round; the raw/act buffers live in the shards (k == 1) or were
 	// already handed back by mergeShards (k > 1).
 	h.scratchDeact = deacts
+	h.lastActs, h.lastDeacts = acts, deacts
 	return stats, nil
+}
+
+// AppendLastDelta fills d with the most recently applied round's
+// committed activations and deactivations as slot pairs, reusing d's
+// slice capacity. The source lists are the History's scratch buffers,
+// overwritten by the next Apply — callers stream or copy d before
+// applying another round. Before any round has been applied d is the
+// empty delta for round 0.
+func (h *History) AppendLastDelta(d *RoundDelta) {
+	d.Round = h.round - 1
+	d.Activate = appendSlotPairs(d.Activate[:0], h.current, h.lastActs)
+	d.Deactivate = appendSlotPairs(d.Deactivate[:0], h.current, h.lastDeacts)
+}
+
+// AppendInitialEdges appends the slot-pair rendering of E(1) — every
+// edge of the initial graph in ascending canonical order — to dst[:0]
+// and returns it. This is the header a topology-delta subscriber needs
+// once, before replaying per-round deltas.
+func (h *History) AppendInitialEdges(dst []int32) []int32 {
+	dst = dst[:0]
+	n := h.initial.NumNodes()
+	for su := 0; su < n; su++ {
+		u := h.initial.IDAt(su)
+		h.initial.EachNeighbor(u, func(v graph.ID) bool {
+			if sv, _ := h.initial.Slot(v); sv > su {
+				dst = append(dst, int32(su), int32(sv))
+			}
+			return true
+		})
+	}
+	return dst
+}
+
+// appendSlotPairs appends each edge's endpoint slots in g to dst.
+// Edges are canonical (A < B) and slots are ascending-ID ranks, so
+// slot(A) < slot(B) and the pair order mirrors the edge order.
+func appendSlotPairs(dst []int32, g *graph.Graph, edges []graph.Edge) []int32 {
+	for _, e := range edges {
+		sa, _ := g.Slot(e.A)
+		sb, _ := g.Slot(e.B)
+		dst = append(dst, int32(sa), int32(sb))
+	}
+	return dst
 }
 
 // mergeShards k-way merges one sorted edge list per shard (selected by

@@ -338,3 +338,62 @@ func TestLedgerMatchesRecomputation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func pairsEqual(got []int32, want ...int32) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeltaExport(t *testing.T) {
+	t.Parallel()
+	h := NewHistory(graph.Line(4)) // 0-1-2-3; slots equal IDs
+
+	var d RoundDelta
+	h.AppendLastDelta(&d)
+	if d.Round != 0 || len(d.Activate) != 0 || len(d.Deactivate) != 0 {
+		t.Fatalf("pre-round delta = %+v, want empty round 0", d)
+	}
+	if init := h.AppendInitialEdges(nil); !pairsEqual(init, 0, 1, 1, 2, 2, 3) {
+		t.Fatalf("initial edges = %v", init)
+	}
+
+	if _, err := h.Apply([]graph.Edge{edge(0, 2)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	h.AppendLastDelta(&d)
+	if d.Round != 1 || !pairsEqual(d.Activate, 0, 2) || len(d.Deactivate) != 0 {
+		t.Fatalf("round-1 delta = %+v", d)
+	}
+
+	// A mixed round: activate {1,3}, deactivate the activated {0,2}.
+	if _, err := h.Apply([]graph.Edge{edge(1, 3)}, []graph.Edge{edge(0, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	h.AppendLastDelta(&d)
+	if d.Round != 2 || !pairsEqual(d.Activate, 1, 3) || !pairsEqual(d.Deactivate, 0, 2) {
+		t.Fatalf("round-2 delta = %+v", d)
+	}
+
+	// No-op intents commit nothing and must export an empty delta.
+	if _, err := h.Apply([]graph.Edge{edge(0, 1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	h.AppendLastDelta(&d)
+	if d.Round != 3 || len(d.Activate) != 0 || len(d.Deactivate) != 0 {
+		t.Fatalf("no-op round delta = %+v", d)
+	}
+
+	// Reset clears the last-round scratch.
+	h.Reset(graph.Line(3))
+	h.AppendLastDelta(&d)
+	if d.Round != 0 || len(d.Activate) != 0 || len(d.Deactivate) != 0 {
+		t.Fatalf("post-reset delta = %+v", d)
+	}
+}
