@@ -29,6 +29,13 @@
 // the X-Adnet-Request-Id of the request that caused them, and can
 // expose the runtime profiler under /debug/pprof/ with -pprof.
 //
+// With -data-dir the server keeps a write-ahead journal of every
+// executed sweep cell: after a crash (kill -9 included) a restart on
+// the same directory replays the intact journal prefix, re-marks the
+// interrupted sweeps as resumable and re-executes only the missing
+// cells — the final aggregate is byte-identical to an uninterrupted
+// run. See the durability section of DESIGN.md.
+//
 // With -coordinator the server runs no local sweeps: it shards each
 // sweep grid across the worker servers registered with -fleet-workers
 // (or POST /v1/fleet/workers) and merges their cell streams and
@@ -72,6 +79,7 @@ func main() {
 	retainSweeps := flag.Int("retain-sweeps", 64, "finished sweep jobs kept queryable")
 	retainFrameBytes := flag.Int64("retain-frame-bytes", 4<<20, "encoded NDJSON frame bytes retained per stream (negative = unbounded)")
 	streamWriteTimeout := flag.Duration("stream-write-timeout", 30*time.Second, "per-batch write deadline on streaming endpoints; stalled subscribers are dropped (negative = none)")
+	dataDir := flag.String("data-dir", "", "directory for the write-ahead sweep journal; on restart, intact journals resume interrupted sweeps re-executing only the missing cells (empty = no durability)")
 	coordinator := flag.Bool("coordinator", false, "coordinator mode: shard sweep grids across registered worker servers instead of the local engine fleet")
 	fleetWorkers := flag.String("fleet-workers", "", "coordinator mode: comma-separated worker base URLs registered at startup (more can join via POST /v1/fleet/workers)")
 	logFormat := flag.String("log-format", "text", "log line format: text or json")
@@ -111,6 +119,7 @@ func main() {
 
 	mgr := service.NewManager(service.Config{
 		Fleet:               coord,
+		DataDir:             *dataDir,
 		Workers:             *workers,
 		QueueDepth:          *queue,
 		CacheSize:           *cache,
@@ -127,6 +136,13 @@ func main() {
 		Metrics:             reg,
 		Logger:              logger,
 	})
+	// Recover before serving: intact journals from a previous process
+	// life seed the cache and resubmit interrupted sweeps. A corrupt
+	// journal (mid-file checksum mismatch, not a torn tail) is refused
+	// loudly rather than silently resumed over bad data.
+	if err := mgr.Recover(); err != nil {
+		fatal(err)
+	}
 	handler := service.NewHandler(mgr)
 	if *pprofOn {
 		// The profiler shares the listener but not the instrumented

@@ -16,10 +16,9 @@ import (
 	"time"
 )
 
-// startServer builds the real adnet-server binary and runs it on a
-// free localhost port with the extra flags appended, returning the
-// base URL. The process is torn down with the test.
-func startServer(t *testing.T, extra ...string) string {
+// buildServer compiles the real adnet-server binary once for a test
+// and returns its path.
+func buildServer(t *testing.T) string {
 	t.Helper()
 	bin := filepath.Join(t.TempDir(), "adnet-server")
 	build := exec.Command("go", "build", "-o", bin, "./cmd/adnet-server")
@@ -27,7 +26,33 @@ func startServer(t *testing.T, extra ...string) string {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build ./cmd/adnet-server: %v\n%s", err, out)
 	}
+	return bin
+}
 
+// serverProc is one live adnet-server process. Crash tests reach for
+// kill9; everything else just uses base.
+type serverProc struct {
+	base string
+	cmd  *exec.Cmd
+	logs *bytes.Buffer
+	done chan struct{} // closed once Wait returns
+}
+
+// kill9 delivers SIGKILL — the crash the journal must survive — and
+// reaps the process.
+func (p *serverProc) kill9(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill -9: %v", err)
+	}
+	<-p.done
+}
+
+// launchServer runs a pre-built adnet-server on a free localhost port
+// with the extra flags appended and waits until it serves /healthz.
+// The process is torn down (gracefully, then by force) with the test.
+func launchServer(t *testing.T, bin string, extra ...string) *serverProc {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -43,29 +68,32 @@ func startServer(t *testing.T, extra ...string) string {
 	if err := srv.Start(); err != nil {
 		t.Fatal(err)
 	}
+	p := &serverProc{base: "http://" + addr, cmd: srv, logs: &logs, done: make(chan struct{})}
+	go func() { srv.Wait(); close(p.done) }()
 	t.Cleanup(func() {
-		srv.Process.Signal(os.Interrupt)
-		done := make(chan struct{})
-		go func() { srv.Wait(); close(done) }()
 		select {
-		case <-done:
-		case <-time.After(15 * time.Second):
-			srv.Process.Kill()
-			<-done
+		case <-p.done: // already dead (e.g. kill9)
+		default:
+			srv.Process.Signal(os.Interrupt)
+			select {
+			case <-p.done:
+			case <-time.After(15 * time.Second):
+				srv.Process.Kill()
+				<-p.done
+			}
 		}
 		if t.Failed() {
-			t.Logf("server logs:\n%s", logs.String())
+			t.Logf("server logs (%s):\n%s", addr, logs.String())
 		}
 	})
 
-	base := "http://" + addr
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		resp, err := http.Get(base + "/healthz")
+		resp, err := http.Get(p.base + "/healthz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
-				return base
+				return p
 			}
 		}
 		if time.Now().After(deadline) {
@@ -73,6 +101,12 @@ func startServer(t *testing.T, extra ...string) string {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+// startServer builds and runs an adnet-server, returning its base URL.
+func startServer(t *testing.T, extra ...string) string {
+	t.Helper()
+	return launchServer(t, buildServer(t), extra...).base
 }
 
 // requireKeys fails unless the JSON object has every named key —

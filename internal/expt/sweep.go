@@ -175,8 +175,9 @@ type CellResult struct {
 	Cell      Cell //
 	Outcome   Outcome
 	Rounds    []temporal.RoundStats // per-round stats when CollectRounds (or served by Lookup)
-	FromCache bool                  // answered by Lookup without running
+	FromCache bool                  // answered by Lookup or Done without running
 	Ran       bool                  // a simulation actually executed
+	Replayed  bool                  // answered by Done (a journal replay, not a live run)
 	Err       error                 // run failure or cancellation for this cell
 	// Duration is the wall-clock cost of executing the cell (zero for
 	// cache hits and skipped cells). It feeds the service's
@@ -221,6 +222,11 @@ type SweepOptions struct {
 	// CellResult (cheap: five ints per round), so callers can cache
 	// or stream them.
 	CollectRounds bool
+	// Done, when set, is the resume done-set: it is consulted before
+	// Lookup, and a hit marks the cell Replayed (journal-recovered) as
+	// well as FromCache. Replayed cells carry no per-round stats — the
+	// journal persists outcomes, not round streams.
+	Done func(Cell) (Outcome, bool)
 	// Lookup, when set, is consulted before running a cell; a hit
 	// skips the simulation. Store, when set, receives every
 	// successful fresh result. Both may be called concurrently from
@@ -326,6 +332,12 @@ func runCell(r *Runner, idx int, cell Cell, simOpts []sim.Option, opts SweepOpti
 	if canceled() {
 		res.Err = fmt.Errorf("expt: cell skipped: %w", sim.ErrCanceled)
 		return res
+	}
+	if opts.Done != nil {
+		if out, ok := opts.Done(cell); ok {
+			res.Outcome, res.FromCache, res.Replayed = out, true, true
+			return res
+		}
 	}
 	if opts.Lookup != nil {
 		if out, rounds, ok := opts.Lookup(cell); ok {

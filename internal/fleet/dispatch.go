@@ -78,10 +78,12 @@ type shardProgress struct {
 	// attempts counts failed dispatches; at cfg.ShardAttempts the
 	// sweep fails.
 	attempts int
-	// summary and groups are recorded by the dispatch that completed
-	// the shard.
+	// summary, groups and cells are recorded by the dispatch that
+	// completed the shard (cells in shard-local order — what
+	// GridHooks.Persist journals).
 	summary *shardSummary
 	groups  []expt.AggregateGroup
+	cells   []Cell
 }
 
 // runShard executes one shard on one worker: submit the sub-grid
@@ -110,11 +112,14 @@ func (c *Coordinator) runShard(ctx context.Context, w *worker, sh Shard, sp *sha
 	collected := make([]Cell, n)
 	have := make([]bool, n)
 	var sum *shardSummary
+	// cursor carries across resume attempts: each pass asks the worker
+	// to replay only the frames this dispatch has not consumed yet.
+	cursor := 0
 	for resumes := 0; ; resumes++ {
 		if resumes > 0 {
 			c.metrics.streamResumes.Inc()
 		}
-		err := c.tailCells(ctx, w, id, collected, have, &sum)
+		err := c.tailCells(ctx, w, id, collected, have, &sum, &cursor)
 		if err == nil && sum != nil {
 			break
 		}
@@ -147,6 +152,7 @@ func (c *Coordinator) runShard(ctx context.Context, w *worker, sh Shard, sp *sha
 		}
 	}
 	sp.summary = sum
+	sp.cells = collected
 	for i, cell := range collected {
 		cell.Index = sh.Offset + i
 		deliver(cell)
@@ -165,12 +171,14 @@ func (c *Coordinator) runShard(ctx context.Context, w *worker, sh Shard, sp *sha
 }
 
 // tailCells streams one pass of GET /v1/sweeps/{id}/cells into
-// collected. The worker replays the shard from cell zero on every
-// pass. Returns nil when the stream ended cleanly (the caller checks
-// whether the summary arrived).
+// collected, resuming from *cursor (the ?cursor=N replay offset: how
+// many cell frames previous passes already consumed) and advancing it
+// per cell. Returns nil when the stream ended cleanly (the caller
+// checks whether the summary arrived).
 func (c *Coordinator) tailCells(ctx context.Context, w *worker, id string,
-	collected []Cell, have []bool, sum **shardSummary) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/sweeps/"+id+"/cells", nil)
+	collected []Cell, have []bool, sum **shardSummary, cursor *int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/sweeps/%s/cells?cursor=%d", w.url, id, *cursor), nil)
 	if err != nil {
 		return err
 	}
@@ -184,7 +192,7 @@ func (c *Coordinator) tailCells(ctx context.Context, w *worker, id string,
 		return fmt.Errorf("cells stream returned %d", resp.StatusCode)
 	}
 
-	passSeen := 0
+	passSeen := *cursor
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
@@ -217,6 +225,7 @@ func (c *Coordinator) tailCells(ctx context.Context, w *worker, id string,
 		collected[cell.Index] = cell
 		have[cell.Index] = true
 		passSeen++
+		*cursor = passSeen
 	}
 	return sc.Err()
 }
@@ -252,12 +261,10 @@ func (c *Coordinator) postSweep(ctx context.Context, w *worker, spec expt.SweepS
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		return "", fmt.Errorf("%w: %s", errWorkerBusy, w.url)
 	case resp.StatusCode >= 400 && resp.StatusCode < 500:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return "", fmt.Errorf("%w: %s returned %d: %s",
-			errDispatchRejected, w.url, resp.StatusCode, strings.TrimSpace(string(msg)))
+			errDispatchRejected, w.url, resp.StatusCode, errorMessage(resp.Body))
 	default:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return "", fmt.Errorf("POST /v1/sweeps returned %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		return "", fmt.Errorf("POST /v1/sweeps returned %d: %s", resp.StatusCode, errorMessage(resp.Body))
 	}
 	var sub struct {
 		Sweep struct {
@@ -271,6 +278,24 @@ func (c *Coordinator) postSweep(ctx context.Context, w *worker, spec expt.SweepS
 		return "", errors.New("submit response carried no sweep ID")
 	}
 	return sub.Sweep.ID, nil
+}
+
+// errorMessage extracts the service's v1 error envelope
+// ({"error":{"code","message",...}}) from a failed response body,
+// falling back to the raw (trimmed, bounded) text for non-conforming
+// bodies.
+func errorMessage(body io.Reader) string {
+	raw, _ := io.ReadAll(io.LimitReader(body, 512))
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		return fmt.Sprintf("%s: %s", env.Error.Code, env.Error.Message)
+	}
+	return strings.TrimSpace(string(raw))
 }
 
 // fetchAggregate reads the worker's fold of a terminal shard sweep.

@@ -5,8 +5,8 @@
 // partitions a sweep grid into deterministic, group-aligned shards
 // (plan.go), dispatches each shard to a worker over the ordinary
 // /v1/sweeps HTTP API and tails its NDJSON cell stream — broken
-// streams are resumed by replaying from cell zero, which the worker's
-// replayable CellStream makes cheap (dispatch.go) — and re-emits one
+// streams are resumed with ?cursor=N, replaying only the frames this
+// dispatch has not consumed yet (dispatch.go) — and re-emits one
 // merged cell stream in canonical grid order plus a fold-merged
 // aggregate that is byte-identical to a single-process run of the
 // same grid (run.go).

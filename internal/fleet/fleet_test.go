@@ -164,7 +164,7 @@ func TestRunGridMergesAcrossWorkers(t *testing.T) {
 	var merged []fleet.Cell
 	sum, groups, err := c.RunGrid(context.Background(), testSpec, func(cell fleet.Cell) {
 		merged = append(merged, cell)
-	})
+	}, fleet.GridHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestRunGridRedispatchesShardWhenWorkerDies(t *testing.T) {
 	var merged []fleet.Cell
 	sum, groups, err := c.RunGrid(context.Background(), testSpec, func(cell fleet.Cell) {
 		merged = append(merged, cell)
-	})
+	}, fleet.GridHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,7 +434,7 @@ func TestRunGridRejectsIncompleteWorkerSweep(t *testing.T) {
 	var merged []fleet.Cell
 	_, groups, err := c.RunGrid(context.Background(), testSpec, func(cell fleet.Cell) {
 		merged = append(merged, cell)
-	})
+	}, fleet.GridHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,7 +473,7 @@ func TestRunGridWaitsOutBusyWorker(t *testing.T) {
 	var merged []fleet.Cell
 	sum, groups, err := c.RunGrid(context.Background(), testSpec, func(cell fleet.Cell) {
 		merged = append(merged, cell)
-	})
+	}, fleet.GridHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -498,7 +498,7 @@ func TestRunGridNoWorkersKeepsWireContract(t *testing.T) {
 	var merged []fleet.Cell
 	sum, groups, err := c.RunGrid(context.Background(), testSpec, func(cell fleet.Cell) {
 		merged = append(merged, cell)
-	})
+	}, fleet.GridHooks{})
 	if !errors.Is(err, fleet.ErrNoWorkers) {
 		t.Fatalf("err = %v, want ErrNoWorkers", err)
 	}
@@ -530,7 +530,7 @@ func TestRunGridCancelMidSweep(t *testing.T) {
 	_, groups, err := c.RunGrid(ctx, testSpec, func(cell fleet.Cell) {
 		merged = append(merged, cell)
 		cancel()
-	})
+	}, fleet.GridHooks{})
 	if err == nil || !strings.Contains(err.Error(), "canceled") {
 		t.Fatalf("err = %v, want cancellation", err)
 	}

@@ -48,7 +48,7 @@ func newFleetMetrics(reg *obs.Registry, logger *slog.Logger, c *Coordinator) *fl
 		busyRetries: reg.Counter("adnet_fleet_busy_retries_total",
 			"Dispatches bounced by a worker's sweep gate (503) and requeued without penalty."),
 		streamResumes: reg.Counter("adnet_fleet_stream_resumes_total",
-			"Broken shard cell streams resumed by replaying from cell zero."),
+			"Broken shard cell streams resumed from their ?cursor=N offset."),
 		healthTransitions: reg.CounterVec("adnet_fleet_worker_health_transitions_total",
 			"Worker health state changes, by the state entered.",
 			"to"),

@@ -16,7 +16,9 @@ import (
 // Summary totals a distributed sweep. CacheHits and Errors are counted
 // over the merged cell stream (synthesized skip-cells included);
 // Executed sums the completing workers' own summaries, so it keeps the
-// worker-side "a simulation actually ran" semantics.
+// worker-side "a simulation actually ran" semantics. Replayed counts
+// cells served from journaled shards (GridHooks.Completed) without
+// re-dispatching.
 type Summary struct {
 	Cells        int
 	CacheHits    int
@@ -24,6 +26,30 @@ type Summary struct {
 	Errors       int
 	Shards       int
 	Redispatches int
+	Replayed     int
+}
+
+// ShardResult is one completed shard's durable payload: the cells in
+// shard-local canonical order plus the worker's shard aggregate —
+// exactly what the merge needs to fold the shard without ever
+// re-dispatching it.
+type ShardResult struct {
+	Key    string
+	Index  int
+	Offset int
+	Cells  []Cell
+	Groups []expt.AggregateGroup
+}
+
+// GridHooks wires RunGrid to a durability layer. Completed is asked
+// once per planned shard (by canonical shard key) before dispatch; a
+// hit delivers the recorded cells (marked FromCache) and aggregate
+// instead of running the shard. Persist receives every shard this run
+// completes, after its cells were delivered — it may be called
+// concurrently from dispatcher goroutines. Either hook may be nil.
+type GridHooks struct {
+	Completed func(shardKey string) (ShardResult, bool)
+	Persist   func(ShardResult)
 }
 
 // RunGrid executes the grid across the registry's healthy workers and
@@ -37,7 +63,12 @@ type Summary struct {
 // cells that merged before the failure, then error-marked skip cells
 // for the rest — the same wire contract a single-process sweep keeps
 // under cancellation — and returns the failure alongside nil groups.
-func (c *Coordinator) RunGrid(ctx context.Context, spec expt.SweepSpec, emit func(Cell)) (Summary, []expt.AggregateGroup, error) {
+//
+// hooks connects the grid to a shard journal: shards hooks.Completed
+// recognizes are merged from their recorded cells without dispatching
+// (a grid whose shards all replay needs no workers at all), and every
+// freshly completed shard is handed to hooks.Persist.
+func (c *Coordinator) RunGrid(ctx context.Context, spec expt.SweepSpec, emit func(Cell), hooks GridHooks) (Summary, []expt.AggregateGroup, error) {
 	if err := spec.Validate(); err != nil {
 		return Summary{}, nil, err
 	}
@@ -45,11 +76,31 @@ func (c *Coordinator) RunGrid(ctx context.Context, spec expt.SweepSpec, emit fun
 	cells := spec.Cells()
 	sum := Summary{Cells: len(cells), Shards: len(shards)}
 
+	replayed := make(map[int]ShardResult)
+	if hooks.Completed != nil {
+		for i := range shards {
+			res, ok := hooks.Completed(shards[i].Key)
+			if !ok {
+				continue
+			}
+			if len(res.Cells) != shards[i].NumCells() {
+				// A record that does not cover the shard is unusable;
+				// dispatch the shard normally.
+				c.cfg.Logger.WarnContext(ctx, "journaled shard incomplete; re-dispatching",
+					slog.Int("shard", i), slog.Int("cells", len(res.Cells)))
+				continue
+			}
+			replayed[i] = res
+			sum.Replayed += len(res.Cells)
+		}
+	}
+
 	workers := c.healthyWorkers(ctx)
 	c.cfg.Logger.InfoContext(ctx, "fleet sweep dispatching",
 		slog.Int("cells", len(cells)), slog.Int("shards", len(shards)),
+		slog.Int("replayed_shards", len(replayed)),
 		slog.Int("workers", len(workers)))
-	progress, runErr := c.dispatchAll(ctx, shards, workers, &sum, cells, emit)
+	progress, runErr := c.dispatchAll(ctx, shards, workers, &sum, cells, emit, replayed, hooks.Persist)
 	// Shards that completed before a failure still did their work:
 	// keep their Executed counts in the summary, like the incremental
 	// single-process summary would.
@@ -75,10 +126,19 @@ func (c *Coordinator) RunGrid(ctx context.Context, spec expt.SweepSpec, emit fun
 
 // dispatchAll runs the shard queue to completion and merges
 // deliveries. It owns the merge/emit loop; dispatcher goroutines own
-// shard execution.
+// shard execution. Shards in replayed never touch the queue: their
+// recorded cells are injected into the delivery stream by a local
+// replayer goroutine and their progress is pre-seeded as complete.
 func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers []*worker,
-	sum *Summary, cells []expt.Cell, emit func(Cell)) ([]shardProgress, error) {
+	sum *Summary, cells []expt.Cell, emit func(Cell),
+	replayed map[int]ShardResult, persist func(ShardResult)) ([]shardProgress, error) {
 	progress := make([]shardProgress, len(shards))
+	for idx, res := range replayed {
+		// Executed stays 0: the replayed work ran in a previous process
+		// life, not this one.
+		progress[idx].summary = &shardSummary{Done: true, Cells: len(res.Cells)}
+		progress[idx].groups = res.Groups
+	}
 
 	emitCount := func(cell Cell) {
 		if cell.Error != "" {
@@ -109,7 +169,9 @@ func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers [
 		return progress, cause
 	}
 
-	if len(workers) == 0 {
+	// A fully replayed grid needs no workers; anything left to dispatch
+	// does.
+	if len(workers) == 0 && len(replayed) < len(shards) {
 		return fail(0, nil, ErrNoWorkers)
 	}
 
@@ -125,7 +187,9 @@ func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers [
 	// wake on Done, and a closed-channel send is impossible.
 	queue := make(chan int, len(shards))
 	for i := range shards {
-		queue <- i
+		if _, ok := replayed[i]; !ok {
+			queue <- i
+		}
 	}
 	var closeOnce sync.Once
 	closeQueue := func() { closeOnce.Do(func() { close(queue) }) }
@@ -139,6 +203,12 @@ func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers [
 		redispatches atomic.Int32
 		wg           sync.WaitGroup
 	)
+	// Replayed shards are born done; with nothing left to dispatch the
+	// queue closes now so idle dispatchers drain out immediately.
+	done.Store(int32(len(replayed)))
+	if int(done.Load()) == len(shards) {
+		closeQueue()
+	}
 	setFatal := func(err error) {
 		fatalMu.Lock()
 		if fatalErr == nil {
@@ -175,6 +245,12 @@ func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers [
 				if err == nil {
 					c.metrics.shardSeconds.With(w.id).Observe(time.Since(dispatchStart).Seconds())
 					w.noteShardDone()
+					if persist != nil {
+						persist(ShardResult{
+							Key: shards[idx].Key, Index: idx, Offset: shards[idx].Offset,
+							Cells: sp.cells, Groups: sp.groups,
+						})
+					}
 					if int(done.Add(1)) == len(shards) {
 						closeQueue()
 					}
@@ -237,6 +313,29 @@ func (c *Coordinator) dispatchAll(ctx context.Context, shards []Shard, workers [
 				return
 			}
 		}(w)
+	}
+	if len(replayed) > 0 {
+		// The replayer is a local "dispatcher" for journaled shards: it
+		// injects their recorded cells — global indexes, marked
+		// FromCache (journal-recovered error cells keep their flags) —
+		// into the same delivery stream live shards feed.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx, res := range replayed {
+				for i, cell := range res.Cells {
+					cell.Index = shards[idx].Offset + i
+					if cell.Error == "" {
+						cell.FromCache = true
+					}
+					select {
+					case deliveries <- cell:
+					case <-runCtx.Done():
+						return
+					}
+				}
+			}
+		}()
 	}
 	go func() {
 		wg.Wait()

@@ -1,0 +1,243 @@
+// Package journal implements the on-disk write-ahead log behind
+// durable sweeps: an append-only sequence of length-prefixed,
+// checksummed records that a restarted process replays to rebuild the
+// state a crash would otherwise throw away.
+//
+// Record layout (little-endian):
+//
+//	uint32 length   — byte count of kind+data
+//	uint32 crc      — CRC-32C (Castagnoli) of kind+data
+//	byte   kind     — caller-defined record type
+//	[]byte data     — opaque payload (callers use JSON)
+//
+// Each Append issues one write syscall for the whole record, so under
+// a process kill (SIGKILL) the page cache either has the record or it
+// does not — the only failure that can tear a record mid-write is a
+// machine crash. Replay therefore applies the classic WAL rule: a
+// record whose declared extent runs past end-of-file, or whose
+// checksum fails on the very last record, is a torn write — the log
+// is truncated to the intact prefix and replay succeeds. A checksum
+// failure anywhere before the final record means the file was
+// corrupted after the fact and replay fails with a *CorruptError
+// naming the byte offset, because silently skipping interior records
+// would replay a state that never existed.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// MaxRecord bounds one record's kind+data bytes. It exists to turn a
+// corrupted length prefix into a bounded read instead of an attempted
+// multi-gigabyte allocation.
+const MaxRecord = 64 << 20
+
+const headerSize = 8 // uint32 length + uint32 crc
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports a record that failed its checksum (or carried
+// an impossible length) somewhere before the final record — damage
+// replay must not paper over.
+type CorruptError struct {
+	Path   string // journal file
+	Offset int64  // byte offset of the broken record's header
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("journal: %s corrupt at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// ErrNotReplayed guards the append path: a log must be replayed (even
+// when empty) before it accepts appends, so a torn tail is always
+// truncated before new records land after it.
+var ErrNotReplayed = errors.New("journal: Append before Replay")
+
+// Record is one intact log entry surfaced during replay.
+type Record struct {
+	Kind   byte
+	Data   []byte
+	Offset int64 // byte offset of the record's header in the file
+}
+
+// Log is an append-only record log over one file. Open it, Replay the
+// intact prefix, then Append new records; all methods are safe for
+// concurrent use, though replay-before-append is the caller's
+// sequencing obligation (enforced via ErrNotReplayed).
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	off      int64 // end of the intact prefix = next append offset
+	replayed bool
+}
+
+// Open opens (or creates) the journal file at path.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (l *Log) Path() string { return l.path }
+
+// Size returns the byte size of the intact prefix after Replay (the
+// next append offset).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
+}
+
+// Replay scans the log from the start, invoking fn for every intact
+// record in order. A torn final record (extent past EOF, or a
+// checksum failure on the last record) is tolerated: the file is
+// truncated to the intact prefix, torn reports true, and the log is
+// ready for appends. A checksum or length failure before the final
+// record aborts with a *CorruptError. fn returning an error aborts
+// the replay with that error (without truncating).
+func (l *Log) Replay(fn func(Record) error) (torn bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, err := l.f.Stat()
+	if err != nil {
+		return false, err
+	}
+	size := st.Size()
+
+	var off int64
+	hdr := make([]byte, headerSize)
+	var payload []byte
+	for off < size {
+		if size-off < headerSize {
+			torn = true // partial header at EOF
+			break
+		}
+		if _, err := l.f.ReadAt(hdr, off); err != nil {
+			return false, err
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		end := off + headerSize + length
+		if length < 1 {
+			if end == size {
+				// A zero-length header at EOF: a torn header write.
+				torn = true
+				break
+			}
+			// An impossible record that further bytes follow:
+			// corruption, not a torn tail.
+			return false, &CorruptError{Path: l.path, Offset: off,
+				Reason: fmt.Sprintf("record length %d out of range", length)}
+		}
+		if end > size {
+			// The declared extent runs past EOF: final-write torn (also
+			// the case for a garbage length from a torn header).
+			torn = true
+			break
+		}
+		if length > MaxRecord {
+			return false, &CorruptError{Path: l.path, Offset: off,
+				Reason: fmt.Sprintf("record length %d exceeds the %d-byte limit", length, int64(MaxRecord))}
+		}
+		if int64(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := l.f.ReadAt(payload, off+headerSize); err != nil {
+			return false, err
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			if end == size {
+				// Checksum failure on the very last record: a torn
+				// payload write. Truncate it away like a short tail.
+				torn = true
+				break
+			}
+			return false, &CorruptError{Path: l.path, Offset: off,
+				Reason: fmt.Sprintf("checksum mismatch (want %08x, got %08x)", want, got)}
+		}
+		if fn != nil {
+			data := make([]byte, length-1)
+			copy(data, payload[1:])
+			if err := fn(Record{Kind: payload[0], Data: data, Offset: off}); err != nil {
+				return false, err
+			}
+		}
+		off = end
+	}
+	if torn {
+		if err := l.f.Truncate(off); err != nil {
+			return false, err
+		}
+	}
+	l.off = off
+	l.replayed = true
+	return torn, nil
+}
+
+// Append writes one record at the end of the intact prefix. The whole
+// record — header, kind, data — goes down in a single write call.
+func (l *Log) Append(kind byte, data []byte) error {
+	if len(data)+1 > MaxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds the %d-byte limit", len(data)+1, int64(MaxRecord))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.replayed {
+		return ErrNotReplayed
+	}
+	buf := make([]byte, headerSize+1+len(data))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(data)))
+	buf[headerSize] = kind
+	copy(buf[headerSize+1:], data)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[headerSize:], castagnoli))
+	if _, err := l.f.WriteAt(buf, l.off); err != nil {
+		return err
+	}
+	l.off += int64(len(buf))
+	return nil
+}
+
+// Sync flushes the file to stable storage. Appends survive a process
+// kill without it (the page cache persists); Sync is for surviving a
+// machine crash, so callers invoke it at milestones, not per record.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// Close releases the file handle.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// ReadAll replays path (truncating a torn tail) and returns every
+// intact record — the one-shot read used at recovery scan time.
+func ReadAll(path string) (records []Record, torn bool, err error) {
+	l, err := Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer l.Close()
+	torn, err = l.Replay(func(r Record) error {
+		records = append(records, r)
+		return nil
+	})
+	if err != nil {
+		return nil, torn, err
+	}
+	return records, torn, nil
+}

@@ -1,0 +1,279 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+func mustOpen(t *testing.T, path string) *Log {
+	t.Helper()
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func appendAll(t *testing.T, l *Log, recs []Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := l.Append(r.Kind, r.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, path string) ([]Record, bool) {
+	t.Helper()
+	recs, torn, err := ReadAll(path)
+	if err != nil {
+		t.Fatalf("ReadAll(%s): %v", path, err)
+	}
+	return recs, torn
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tmpLog(t)
+	l := mustOpen(t, path)
+	if _, err := l.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Kind: 1, Data: []byte(`{"header":true}`)},
+		{Kind: 2, Data: []byte(`{"cell":0}`)},
+		{Kind: 2, Data: []byte{}},
+		{Kind: 255, Data: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	appendAll(t, l, want)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	got, torn := replayAll(t, path)
+	if torn {
+		t.Fatal("clean log reported torn")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d mismatch: kind %d/%d, %d/%d bytes",
+				i, got[i].Kind, want[i].Kind, len(got[i].Data), len(want[i].Data))
+		}
+	}
+}
+
+func TestAppendBeforeReplayRejected(t *testing.T) {
+	l := mustOpen(t, tmpLog(t))
+	if err := l.Append(1, []byte("x")); !errors.Is(err, ErrNotReplayed) {
+		t.Fatalf("Append before Replay = %v, want ErrNotReplayed", err)
+	}
+}
+
+// TestTornFinalRecordTolerated truncates a valid log at every byte
+// position inside its final record and asserts replay tolerates the
+// tear, keeps the intact prefix, truncates the tail, and accepts new
+// appends that are then replayed intact.
+func TestTornFinalRecordTolerated(t *testing.T) {
+	base := tmpLog(t)
+	l := mustOpen(t, base)
+	if _, err := l.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: 1, Data: []byte("first-record-payload")},
+		{Kind: 2, Data: []byte("second-record-payload")},
+	}
+	appendAll(t, l, recs)
+	full, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	rec0End := headerSize + 1 + len(recs[0].Data)
+
+	for cut := rec0End + 1; cut < len(full); cut++ {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("cut-%d.wal", cut))
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lg, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		torn, err := lg.Replay(func(r Record) error { got = append(got, r); return nil })
+		if err != nil {
+			t.Fatalf("cut at %d: replay failed: %v", cut, err)
+		}
+		if !torn {
+			t.Fatalf("cut at %d: tear not reported", cut)
+		}
+		if len(got) != 1 || !bytes.Equal(got[0].Data, recs[0].Data) {
+			t.Fatalf("cut at %d: intact prefix lost (%d records)", cut, len(got))
+		}
+		if lg.Size() != int64(rec0End) {
+			t.Fatalf("cut at %d: size %d after truncate, want %d", cut, lg.Size(), rec0End)
+		}
+		// The log is immediately appendable past the tear.
+		if err := lg.Append(3, []byte("appended-after-tear")); err != nil {
+			t.Fatalf("cut at %d: append after tear: %v", cut, err)
+		}
+		lg.Close()
+		again, torn2 := replayAll(t, path)
+		if torn2 || len(again) != 2 || again[1].Kind != 3 {
+			t.Fatalf("cut at %d: post-tear replay = %d records (torn=%v)", cut, len(again), torn2)
+		}
+	}
+}
+
+// TestMidFileCorruptionFailsWithOffset flips one byte in each
+// non-final record and asserts replay fails with a CorruptError
+// naming the broken record's offset and the file path.
+func TestMidFileCorruptionFailsWithOffset(t *testing.T) {
+	base := tmpLog(t)
+	l := mustOpen(t, base)
+	if _, err := l.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: 1, Data: []byte("record-zero")},
+		{Kind: 2, Data: []byte("record-one")},
+		{Kind: 3, Data: []byte("record-two")},
+	}
+	appendAll(t, l, recs)
+	full, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	offsets := []int64{0, int64(headerSize + 1 + len(recs[0].Data))}
+	for i, off := range offsets {
+		// Flip a payload byte of record i (past its header).
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("flip-%d.wal", i))
+		mut := append([]byte(nil), full...)
+		mut[off+headerSize+2] ^= 0xFF
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := ReadAll(path)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("record %d corrupted: err = %v, want CorruptError", i, err)
+		}
+		if ce.Offset != off {
+			t.Fatalf("record %d corrupted: offset %d, want %d", i, ce.Offset, off)
+		}
+		if !strings.Contains(ce.Error(), fmt.Sprintf("offset %d", off)) ||
+			!strings.Contains(ce.Error(), path) {
+			t.Fatalf("error %q does not name offset and path", ce.Error())
+		}
+	}
+
+	// Flipping a byte in the FINAL record is a torn write, not
+	// corruption: replay keeps the prefix.
+	mut := append([]byte(nil), full...)
+	mut[len(mut)-2] ^= 0xFF
+	path := filepath.Join(t.TempDir(), "flip-final.wal")
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, torn := replayAll(t, path)
+	if !torn || len(got) != 2 {
+		t.Fatalf("final-record flip: %d records (torn=%v), want 2 torn", len(got), torn)
+	}
+}
+
+// TestReplayPropertyRandomBatches round-trips random record batches
+// through append/replay across reopen cycles, with random truncation
+// applied between cycles.
+func TestReplayPropertyRandomBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for iter := 0; iter < 40; iter++ {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("prop-%d.wal", iter))
+		var want []Record
+		var wantSize int64
+
+		// 1–4 append sessions, each reopening the file.
+		sessions := 1 + rng.Intn(4)
+		for s := 0; s < sessions; s++ {
+			l, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := 0
+			torn, err := l.Replay(func(r Record) error {
+				if i >= len(want) || r.Kind != want[i].Kind || !bytes.Equal(r.Data, want[i].Data) {
+					return fmt.Errorf("iter %d session %d: record %d diverged", iter, s, i)
+				}
+				i++
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i != len(want) {
+				t.Fatalf("iter %d session %d: replayed %d, want %d (torn=%v)", iter, s, i, len(want), torn)
+			}
+			n := rng.Intn(20)
+			for r := 0; r < n; r++ {
+				rec := Record{Kind: byte(rng.Intn(256)), Data: make([]byte, rng.Intn(300))}
+				rng.Read(rec.Data)
+				if err := l.Append(rec.Kind, rec.Data); err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, rec)
+			}
+			wantSize = l.Size()
+			l.Close()
+
+			// Maybe tear the tail: truncate to a random point inside the
+			// final record, dropping it from the expectation.
+			if len(want) > 0 && rng.Intn(3) == 0 {
+				last := want[len(want)-1]
+				lastStart := wantSize - int64(headerSize+1+len(last.Data))
+				cut := lastStart + 1 + rng.Int63n(int64(headerSize+len(last.Data)))
+				if err := os.Truncate(path, cut); err != nil {
+					t.Fatal(err)
+				}
+				want = want[:len(want)-1]
+				wantSize = lastStart
+			}
+		}
+
+		got, _ := replayAll(t, path)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: final replay %d records, want %d", iter, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Kind != want[i].Kind || !bytes.Equal(got[i].Data, want[i].Data) {
+				t.Fatalf("iter %d: record %d diverged", iter, i)
+			}
+		}
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	l := mustOpen(t, tmpLog(t))
+	if _, err := l.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, make([]byte, MaxRecord)); err == nil {
+		t.Fatal("oversize append accepted")
+	}
+}

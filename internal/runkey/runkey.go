@@ -27,6 +27,15 @@ func ShortHash(key string) string {
 	return hex.EncodeToString(sum[:4])
 }
 
+// Hash is a 16-hex-digit digest of a key, used where a key must name
+// a filesystem object (journal files) — long enough that grids sharing
+// a data dir never collide in practice, short enough for directory
+// listings to stay readable.
+func Hash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:8])
+}
+
 // ShardKey renders the canonical key of one planned shard of a sweep
 // grid: the parent sweep key plus the shard's index and cell range in
 // canonical cell order. The fleet coordinator names shards by hashes

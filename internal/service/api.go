@@ -3,12 +3,111 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"adnet/internal/expt"
 	"adnet/internal/fleet"
+	"adnet/internal/obs"
 )
+
+// API error codes: the stable vocabulary of the v1 error envelope.
+// Every error response is {"error":{"code","message","request_id"}} —
+// clients branch on code, log message, and correlate with request_id;
+// the HTTP status is derived from the code via codeStatus, never
+// chosen ad hoc per handler.
+const (
+	codeInvalidRequest  = "invalid_request"
+	codeInvalidCursor   = "invalid_cursor"
+	codeNotFound        = "not_found"
+	codeAlreadyDone     = "already_done"
+	codeSweepRunning    = "sweep_running"
+	codeQueueFull       = "queue_full"
+	codeSweepBusy       = "sweep_busy"
+	codeShuttingDown    = "shutting_down"
+	codeWorkerUnhealthy = "worker_unhealthy"
+	codeInternal        = "internal"
+)
+
+// codeStatus is the single code→status mapping, pinned by
+// TestErrorCodeStatusTable: adding a code without a status (or
+// changing a mapping) is an API contract change and must show up in
+// the test diff.
+var codeStatus = map[string]int{
+	codeInvalidRequest:  http.StatusBadRequest,
+	codeInvalidCursor:   http.StatusBadRequest,
+	codeNotFound:        http.StatusNotFound,
+	codeAlreadyDone:     http.StatusConflict,
+	codeSweepRunning:    http.StatusConflict,
+	codeQueueFull:       http.StatusServiceUnavailable,
+	codeSweepBusy:       http.StatusServiceUnavailable,
+	codeShuttingDown:    http.StatusServiceUnavailable,
+	codeWorkerUnhealthy: http.StatusBadGateway,
+	codeInternal:        http.StatusInternalServerError,
+}
+
+// ErrorBody is the inner object of the v1 error envelope.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeAPIError renders err under the v1 envelope: the status comes
+// from codeStatus, the request ID from the middleware-assigned
+// X-Adnet-Request-Id already on r's context.
+func writeAPIError(w http.ResponseWriter, r *http.Request, code string, err error) {
+	status, ok := codeStatus[code]
+	if !ok {
+		code, status = codeInternal, http.StatusInternalServerError
+	}
+	body := ErrorBody{Code: code, Message: err.Error()}
+	if r != nil {
+		body.RequestID = obs.RequestIDFromContext(r.Context())
+	}
+	writeJSON(w, status, errorResponse{Error: body})
+}
+
+// submitCode maps a manager submission error to its envelope code.
+// Unmapped errors are validation failures (invalid_request) — the
+// submission paths return no other kind.
+func submitCode(err error) string {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return codeQueueFull
+	case errors.Is(err, ErrSweepBusy):
+		return codeSweepBusy
+	case errors.Is(err, ErrClosed):
+		return codeShuttingDown
+	default:
+		return codeInvalidRequest
+	}
+}
+
+// nextCursorTrailer carries the stream's next replay cursor as an
+// HTTP trailer: after draining a stream to its end, cursor=<value>
+// resumes exactly where this response stopped.
+const nextCursorTrailer = "X-Adnet-Next-Cursor"
+
+// parseCursor reads the optional ?cursor=N replay offset of the
+// NDJSON streams (frame index to resume from; default 0).
+func parseCursor(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("cursor")
+	if q == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("service: invalid cursor %q (want a non-negative integer)", q)
+	}
+	return n, nil
+}
 
 // NewHandler builds the HTTP surface over a Manager:
 //
@@ -29,6 +128,10 @@ import (
 //	GET    /v1/workloads             initial-network family names
 //	GET    /healthz                  liveness + pool/cache counters
 //
+// The NDJSON streams accept ?cursor=N to resume replay from frame N
+// instead of frame zero, and echo the next resume cursor in the
+// X-Adnet-Next-Cursor trailer when the stream completes.
+//
 // In coordinator mode (Config.Fleet set) two more routes manage the
 // worker registry, and sweeps are executed by sharding the grid across
 // the registered workers rather than on the local engine fleet:
@@ -40,7 +143,8 @@ import (
 // mux pattern becomes the metric route label (bounded cardinality —
 // never the raw path), a request ID is assigned or reused from
 // X-Adnet-Request-Id, and GET /metrics serves the registry in
-// Prometheus text exposition format.
+// Prometheus text exposition format. Every error response, including
+// the unknown-route fallback, wears the v1 JSON envelope.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
@@ -51,20 +155,12 @@ func NewHandler(m *Manager) http.Handler {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeAPIError(w, r, codeInvalidRequest, err)
 			return
 		}
 		job, cached, err := m.Submit(spec)
-		switch {
-		case err == nil:
-		case errors.Is(err, ErrQueueFull):
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		case errors.Is(err, ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		default:
-			writeError(w, http.StatusBadRequest, err)
+		if err != nil {
+			writeAPIError(w, r, submitCode(err), err)
 			return
 		}
 		code := http.StatusAccepted
@@ -79,7 +175,7 @@ func NewHandler(m *Manager) http.Handler {
 	handle("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, ErrNotFound)
+			writeAPIError(w, r, codeNotFound, ErrNotFound)
 			return
 		}
 		writeJSON(w, http.StatusOK, job.Status())
@@ -90,32 +186,43 @@ func NewHandler(m *Manager) http.Handler {
 		case err == nil:
 			w.WriteHeader(http.StatusNoContent)
 		case errors.Is(err, ErrNotFound):
-			writeError(w, http.StatusNotFound, err)
+			writeAPIError(w, r, codeNotFound, err)
 		default:
-			writeError(w, http.StatusConflict, err)
+			// Terminal jobs: nothing left to cancel.
+			writeAPIError(w, r, codeAlreadyDone, err)
 		}
 	})
 	handle("GET /v1/runs/{id}/rounds", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, ErrNotFound)
+			writeAPIError(w, r, codeNotFound, ErrNotFound)
 			return
 		}
-		streamNDJSON(w, r, &job.Stream().stream, m.cfg.StreamWriteTimeout, m.metrics.roundsSub)
+		cursor, err := parseCursor(r)
+		if err != nil {
+			writeAPIError(w, r, codeInvalidCursor, err)
+			return
+		}
+		streamNDJSON(w, r, &job.Stream().stream, cursor, m.cfg.StreamWriteTimeout, m.metrics.roundsSub)
 	})
 	handle("GET /v1/runs/{id}/topology", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, ErrNotFound)
+			writeAPIError(w, r, codeNotFound, ErrNotFound)
+			return
+		}
+		cursor, err := parseCursor(r)
+		if err != nil {
+			writeAPIError(w, r, codeInvalidCursor, err)
 			return
 		}
 		switch r.URL.Query().Get("format") {
 		case "", "json":
-			streamNDJSON(w, r, &job.Topology().json, m.cfg.StreamWriteTimeout, m.metrics.topoSub)
+			streamNDJSON(w, r, &job.Topology().json, cursor, m.cfg.StreamWriteTimeout, m.metrics.topoSub)
 		case "packed":
-			streamNDJSON(w, r, &job.Topology().packed, m.cfg.StreamWriteTimeout, m.metrics.topoPackedSub)
+			streamNDJSON(w, r, &job.Topology().packed, cursor, m.cfg.StreamWriteTimeout, m.metrics.topoPackedSub)
 		default:
-			writeError(w, http.StatusBadRequest,
+			writeAPIError(w, r, codeInvalidRequest,
 				errors.New("service: unknown topology format (want json or packed)"))
 		}
 	})
@@ -124,17 +231,12 @@ func NewHandler(m *Manager) http.Handler {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeAPIError(w, r, codeInvalidRequest, err)
 			return
 		}
 		job, err := m.SubmitSweep(r.Context(), spec)
-		switch {
-		case err == nil:
-		case errors.Is(err, ErrSweepBusy), errors.Is(err, ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		default:
-			writeError(w, http.StatusBadRequest, err)
+		if err != nil {
+			writeAPIError(w, r, submitCode(err), err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, sweepSubmitResponse{Sweep: job.Status()})
@@ -145,7 +247,7 @@ func NewHandler(m *Manager) http.Handler {
 	handle("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.GetSweep(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, ErrNotFound)
+			writeAPIError(w, r, codeNotFound, ErrNotFound)
 			return
 		}
 		writeJSON(w, http.StatusOK, job.Status())
@@ -156,21 +258,28 @@ func NewHandler(m *Manager) http.Handler {
 		case err == nil:
 			w.WriteHeader(http.StatusNoContent)
 		case errors.Is(err, ErrNotFound):
-			writeError(w, http.StatusNotFound, err)
+			writeAPIError(w, r, codeNotFound, err)
 		default:
-			writeError(w, http.StatusConflict, err)
+			// The sweep already reached a terminal state: an explicit
+			// already_done, distinguishable from a live cancel's 204.
+			writeAPIError(w, r, codeAlreadyDone, err)
 		}
 	})
 	handle("GET /v1/sweeps/{id}/cells", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.GetSweep(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, ErrNotFound)
+			writeAPIError(w, r, codeNotFound, ErrNotFound)
+			return
+		}
+		cursor, err := parseCursor(r)
+		if err != nil {
+			writeAPIError(w, r, codeInvalidCursor, err)
 			return
 		}
 		// A subscriber disconnect ends only this stream — the sweep
 		// keeps running for other subscribers. The summary line trails
 		// the cells once the sweep is terminal.
-		done := streamNDJSON(w, r, &job.Stream().stream, m.cfg.StreamWriteTimeout, m.metrics.cellsSub)
+		done := streamNDJSON(w, r, &job.Stream().stream, cursor, m.cfg.StreamWriteTimeout, m.metrics.cellsSub)
 		if !done {
 			return
 		}
@@ -181,7 +290,7 @@ func NewHandler(m *Manager) http.Handler {
 	handle("GET /v1/sweeps/{id}/aggregate", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.GetSweep(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, ErrNotFound)
+			writeAPIError(w, r, codeNotFound, ErrNotFound)
 			return
 		}
 		groups, err := job.Aggregate()
@@ -190,10 +299,10 @@ func NewHandler(m *Manager) http.Handler {
 		case errors.Is(err, ErrSweepRunning):
 			// A non-terminal sweep is a caller-resolvable conflict
 			// (retry once the job is terminal), not a server fault.
-			writeError(w, http.StatusConflict, err)
+			writeAPIError(w, r, codeSweepRunning, err)
 			return
 		default:
-			writeError(w, http.StatusInternalServerError, err)
+			writeAPIError(w, r, codeInternal, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, sweepAggregateResponse{
@@ -208,7 +317,7 @@ func NewHandler(m *Manager) http.Handler {
 			dec := json.NewDecoder(r.Body)
 			dec.DisallowUnknownFields()
 			if err := dec.Decode(&req); err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				writeAPIError(w, r, codeInvalidRequest, err)
 				return
 			}
 			st, err := fl.Register(r.Context(), req.URL)
@@ -220,10 +329,10 @@ func NewHandler(m *Manager) http.Handler {
 				// worker's freshly probed status.
 				writeJSON(w, http.StatusOK, st)
 			case errors.Is(err, fleet.ErrInvalidWorkerURL):
-				writeError(w, http.StatusBadRequest, err)
+				writeAPIError(w, r, codeInvalidRequest, err)
 			default:
 				// The worker exists but failed its health probe.
-				writeError(w, http.StatusBadGateway, err)
+				writeAPIError(w, r, codeWorkerUnhealthy, err)
 			}
 		})
 		handle("GET /v1/fleet/workers", func(w http.ResponseWriter, r *http.Request) {
@@ -240,25 +349,40 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: m.Stats()})
 	})
 	mux.Handle("GET /metrics", m.metrics.httpm.Wrap("GET /metrics", m.Registry().Handler()))
+	// Unmatched routes get the envelope too, not the mux's plaintext
+	// 404 — one error shape across the whole surface.
+	mux.Handle("/", m.metrics.httpm.Wrap("fallback", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeAPIError(w, r, codeNotFound,
+			fmt.Errorf("service: no route for %s %s", r.Method, r.URL.Path))
+	})))
 	return mux
 }
 
-// streamNDJSON replays s to the client as NDJSON — full history from
-// cursor 0, then a live tail until the stream closes. The wire bytes
-// come from the stream's encode-once frame log: each published item
-// was marshaled exactly once, and every subscriber writes the same
-// immutable frames, so fan-out to N connections costs N writes but
-// one encode per item. It returns done=true when the stream was fully
-// drained, done=false when the subscriber was dropped mid-stream;
-// callers append trailing lines (e.g. a sweep summary) only when done.
+// streamNDJSON replays s to the client as NDJSON — history from the
+// request's cursor (frame index, default 0), then a live tail until
+// the stream closes. The wire bytes come from the stream's encode-once
+// frame log: each published item was marshaled exactly once, and every
+// subscriber writes the same immutable frames, so fan-out to N
+// connections costs N writes but one encode per item. It returns
+// done=true when the stream was fully drained, done=false when the
+// subscriber was dropped mid-stream; callers append trailing lines
+// (e.g. a sweep summary) only when done. The frame index one past the
+// last frame written — the cursor that resumes exactly after this
+// response — is echoed in the X-Adnet-Next-Cursor trailer.
 //
 // Backpressure: each write batch runs under writeTimeout (via
 // http.ResponseController). A subscriber that cannot drain a batch in
 // time fails its write and is dropped — the producer, publishing into
 // the shared frame log, is never blocked by a stalled reader, and
 // other subscribers keep tailing unaffected.
-func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, s *stream[T], writeTimeout time.Duration, sub subscriberObs) (done bool) {
+func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, s *stream[T], cursor int, writeTimeout time.Duration, sub subscriberObs) (done bool) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Declared before the status line so the client knows to expect
+	// it; the value lands when the handler returns.
+	w.Header().Set("Trailer", nextCursorTrailer)
+	defer func() {
+		w.Header().Set(nextCursorTrailer, strconv.Itoa(cursor))
+	}()
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	if flusher != nil {
@@ -271,7 +395,6 @@ func streamNDJSON[T any](w http.ResponseWriter, r *http.Request, s *stream[T], w
 		sub.subscribers.Inc()
 		defer sub.subscribers.Dec()
 	}
-	cursor := 0
 	for {
 		batch, more := s.WaitFrames(r.Context(), cursor)
 		if !more {
@@ -327,18 +450,10 @@ type healthResponse struct {
 	Stats  Stats  `json:"stats"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	// Encode errors after the status line is committed can only be
 	// surfaced by aborting the connection; let the client see EOF.
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
 }

@@ -2,14 +2,19 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"adnet/internal/expt"
 	"adnet/internal/fleet"
+	"adnet/internal/journal"
+	"adnet/internal/runkey"
 )
 
 // newCoordinator builds a coordinator-mode test server backed by
@@ -88,6 +93,134 @@ func TestCoordinatorSweepMatchesSingleProcessByteForByte(t *testing.T) {
 	// The coordinator distributed everything: no local simulations.
 	if n := coordMgr.RunsExecuted(); n != 0 {
 		t.Fatalf("coordinator executed %d runs locally, want 0", n)
+	}
+}
+
+// TestCoordinatorJournalTakeover is the in-process coordinator
+// failover test: a journaling coordinator dies mid-grid with at least
+// one shard persisted; a brand-new coordinator (fresh registry, same
+// workers, same data dir) recovers, replays the persisted shards
+// without re-dispatching them, completes only the missing ones, and
+// folds an aggregate byte-identical to an uninterrupted run.
+func TestCoordinatorJournalTakeover(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	// Two rows → two shards; the small row finishes while the large
+	// one is still running, so the interruption lands between shards.
+	spec := SweepSpec{
+		Algorithms: []string{"graph-to-star"},
+		Workloads:  []string{"line"},
+		Sizes:      []int{1024, 4096},
+		Seeds:      []int64{1, 2, 3, 4},
+	}
+	total := spec.Expt().NumCells()
+	path := filepath.Join(dir, "sweeps", runkey.Hash(spec.Key())+".wal")
+
+	var workerURLs []string
+	for i := 0; i < 2; i++ {
+		w, _ := newTestServer(t, Config{Workers: 1, SweepWorkers: 1, MaxConcurrentSweeps: 4})
+		workerURLs = append(workerURLs, w.URL)
+	}
+	newCoordMgr := func() *Manager {
+		coord := fleet.New(fleet.Config{RetryBackoff: time.Millisecond})
+		for _, u := range workerURLs {
+			if _, err := coord.Register(t.Context(), u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return NewManager(Config{Workers: 1, Fleet: coord, DataDir: dir})
+	}
+	journaledShards := func() (int, int) {
+		recs, _, err := journal.ReadAll(path)
+		if err != nil {
+			return 0, 0
+		}
+		st, err := parseJournal(path, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := 0
+		for _, sr := range st.shards {
+			cells += len(sr.Cells)
+		}
+		return len(st.shards), cells
+	}
+
+	m1 := newCoordMgr()
+	if _, err := m1.SubmitSweep(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if n, _ := journaledShards(); n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no shard was ever persisted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	m1.Close() // the "crash": no terminal record is written
+
+	shardsDone, cellsDone := journaledShards()
+	if shardsDone == 0 || cellsDone >= total {
+		t.Fatalf("journal holds %d shards / %d cells of %d; need a mid-grid interruption",
+			shardsDone, cellsDone, total)
+	}
+
+	m2 := newCoordMgr()
+	defer m2.Close()
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	var resumed *SweepJob
+	deadline = time.Now().Add(60 * time.Second)
+	for resumed == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("takeover coordinator never resubmitted the sweep")
+		}
+		for _, st := range m2.Sweeps() {
+			resumed, _ = m2.GetSweep(st.ID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	deadline = time.Now().Add(120 * time.Second)
+	for resumed.State() != StateDone {
+		if s := resumed.State(); s == StateFailed || s == StateCanceled {
+			t.Fatalf("resumed sweep ended %s: %s", s, resumed.Status().Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed sweep stuck in %s", resumed.State())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	st := resumed.Status()
+	if !st.Resumed || st.Summary == nil {
+		t.Fatalf("takeover status = %+v", st)
+	}
+	if st.Summary.Replayed != cellsDone {
+		t.Errorf("replayed = %d, want the %d journaled shard cells", st.Summary.Replayed, cellsDone)
+	}
+	if st.Summary.Errors != 0 {
+		t.Errorf("takeover sweep reported %d errors", st.Summary.Errors)
+	}
+	if n := m2.RunsExecuted(); n != 0 {
+		t.Errorf("takeover coordinator ran %d local simulations", n)
+	}
+
+	groups, err := resumed.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(groups)
+	ref, err := expt.AggregateSweep(spec.Expt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(ref)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("takeover aggregate diverged from uninterrupted reference:\n%s\nvs\n%s", got, want)
 	}
 }
 

@@ -234,7 +234,7 @@ func TestStalledSubscriberDropped(t *testing.T) {
 				ts := newTopologyStream(0, nil, nil)
 				var total int64
 				handler := func(w http.ResponseWriter, r *http.Request) {
-					streamNDJSON(w, r, &ts.json, timeout, mt.topoSub)
+					streamNDJSON(w, r, &ts.json, 0, timeout, mt.topoSub)
 				}
 				publish := func(i int) {
 					f := TopologyFrame{Round: i + 1, Activate: bigDelta}
@@ -251,7 +251,7 @@ func TestStalledSubscriberDropped(t *testing.T) {
 				rs := newRoundStream(0, nil)
 				var total int64
 				handler := func(w http.ResponseWriter, r *http.Request) {
-					streamNDJSON(w, r, &rs.stream, timeout, mt.roundsSub)
+					streamNDJSON(w, r, &rs.stream, 0, timeout, mt.roundsSub)
 				}
 				publish := func(i int) {
 					st := temporal.RoundStats{Round: i + 1, Activated: i, ActiveEdges: 1 << 20}

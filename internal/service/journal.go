@@ -1,0 +1,357 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"adnet/internal/expt"
+	"adnet/internal/fleet"
+	"adnet/internal/journal"
+	"adnet/internal/runkey"
+)
+
+// Sweep journal record kinds. The payloads are JSON; the kind byte
+// routes them without parsing. New kinds append — replay skips kinds
+// it does not know, so old servers tolerate newer journals.
+const (
+	recHeader byte = 1 // sweepHeader: written once at submission
+	recCell   byte = 2 // cellRecord: one finished ok cell (local mode)
+	recShard  byte = 3 // shardRecord: one completed shard (coordinator mode)
+	recDone   byte = 4 // doneRecord: the sweep reached a terminal state
+)
+
+// recKindLabel maps a record kind to its metric label.
+func recKindLabel(kind byte) string {
+	switch kind {
+	case recHeader:
+		return "header"
+	case recCell:
+		return "cell"
+	case recShard:
+		return "shard"
+	case recDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// sweepHeader opens every journal: the spec is enough to resubmit the
+// sweep after a crash, the key pins the file to its grid (the filename
+// is a hash of it), and Cells records the expected grid volume.
+type sweepHeader struct {
+	Key   string    `json:"key"`
+	Spec  SweepSpec `json:"spec"`
+	Cells int       `json:"cells"`
+}
+
+// cellRecord persists one successfully finished cell of a locally
+// executed grid, keyed by its canonical run key. Error cells are never
+// journaled — a resumed sweep retries them.
+type cellRecord struct {
+	RunKey string    `json:"run_key"`
+	Cell   SweepCell `json:"cell"`
+}
+
+// shardRecord persists one completed shard of a coordinator-mode grid:
+// the cells in shard-local canonical order plus the worker's shard
+// aggregate, exactly what the merge needs to fold the shard without
+// re-dispatching it.
+type shardRecord struct {
+	Key    string                `json:"key"`
+	Index  int                   `json:"index"`
+	Offset int                   `json:"offset"`
+	Cells  []fleet.Cell          `json:"cells"`
+	Groups []expt.AggregateGroup `json:"groups"`
+}
+
+// doneRecord closes a journal: the sweep reached a terminal state and
+// must not be auto-resumed at the next startup. It is deliberately NOT
+// written when the manager is shutting down — a graceful-shutdown
+// cancellation is an interruption, not a result, and resumes like a
+// crash would.
+type doneRecord struct {
+	State   JobState     `json:"state"`
+	Summary SweepSummary `json:"summary"`
+}
+
+// sweepJournal binds one sweep job to its write-ahead log. Append
+// failures degrade durability, never correctness: they are logged and
+// the sweep continues in-memory-only.
+type sweepJournal struct {
+	log     *journal.Log
+	mt      *metrics
+	logger  *slog.Logger
+	release func()
+}
+
+func (sj *sweepJournal) append(kind byte, v any) {
+	data, err := json.Marshal(v)
+	if err == nil {
+		err = sj.log.Append(kind, data)
+	}
+	if err != nil {
+		sj.logger.Error("sweep journal append failed",
+			slog.String("path", sj.log.Path()),
+			slog.String("kind", recKindLabel(kind)),
+			slog.String("error", err.Error()))
+		return
+	}
+	sj.mt.journalRecords.With(recKindLabel(kind)).Inc()
+	sj.mt.journalBytes.Add(int64(len(data)))
+}
+
+// sync flushes at milestones (shard done, sweep terminal). Per-cell
+// appends rely on the page cache — they survive a process kill without
+// an fsync; only a machine crash can lose them, and replay tolerates
+// the resulting torn tail.
+func (sj *sweepJournal) sync() { _ = sj.log.Sync() }
+
+func (sj *sweepJournal) close() {
+	_ = sj.log.Close()
+	if sj.release != nil {
+		sj.release()
+	}
+}
+
+// journalState is one journal's parsed content: the intact prefix
+// folded down to the latest header, the done-set of cells and shards,
+// and the terminal record if the sweep finished.
+type journalState struct {
+	header *sweepHeader
+	cells  map[string]SweepCell   // run key → finished cell
+	shards map[string]shardRecord // shard key → completed shard
+	done   *doneRecord
+}
+
+func parseJournal(path string, recs []journal.Record) (journalState, error) {
+	st := journalState{
+		cells:  make(map[string]SweepCell),
+		shards: make(map[string]shardRecord),
+	}
+	for _, r := range recs {
+		var err error
+		switch r.Kind {
+		case recHeader:
+			var h sweepHeader
+			if err = json.Unmarshal(r.Data, &h); err == nil {
+				st.header = &h
+			}
+		case recCell:
+			var c cellRecord
+			if err = json.Unmarshal(r.Data, &c); err == nil {
+				st.cells[c.RunKey] = c.Cell
+			}
+		case recShard:
+			var s shardRecord
+			if err = json.Unmarshal(r.Data, &s); err == nil {
+				st.shards[s.Key] = s
+			}
+		case recDone:
+			var d doneRecord
+			if err = json.Unmarshal(r.Data, &d); err == nil {
+				st.done = &d
+			}
+		default:
+			// Unknown kind: a newer writer's record; skip.
+		}
+		if err != nil {
+			// The record passed its checksum, so this is version skew or
+			// an impossible encode — surface it, do not guess.
+			return st, fmt.Errorf("journal: %s: bad %s record at offset %d: %w",
+				path, recKindLabel(r.Kind), r.Offset, err)
+		}
+	}
+	return st, nil
+}
+
+// journalDir is where sweep journals live under the data dir.
+func (m *Manager) journalDir() string {
+	return filepath.Join(m.cfg.DataDir, "sweeps")
+}
+
+// openSweepJournal attaches j to its on-disk journal: replay whatever
+// a previous life of the same grid left behind into the job's
+// done-sets, then write the header if the file is fresh. All failure
+// paths degrade to an unjournaled sweep (logged) — submission must not
+// fail because the disk does. Strictness about corrupt files lives in
+// Recover, where it can stop a startup.
+func (m *Manager) openSweepJournal(j *SweepJob) {
+	key := j.Spec.Key()
+	dir := m.journalDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		m.logger.Error("sweep journal dir unavailable; running unjournaled",
+			slog.String("sweep_id", j.ID), slog.String("error", err.Error()))
+		return
+	}
+	m.mu.Lock()
+	if _, busy := m.openJournals[key]; busy {
+		m.mu.Unlock()
+		// A second concurrent sweep over the same grid: the first owns
+		// the journal; this one runs unjournaled rather than interleave
+		// two writers in one file.
+		m.logger.Warn("sweep journal already owned by a concurrent sweep; running unjournaled",
+			slog.String("sweep_id", j.ID))
+		return
+	}
+	m.openJournals[key] = struct{}{}
+	m.mu.Unlock()
+	release := func() {
+		m.mu.Lock()
+		delete(m.openJournals, key)
+		m.mu.Unlock()
+	}
+
+	path := filepath.Join(dir, runkey.Hash(key)+".wal")
+	lg, err := journal.Open(path)
+	if err != nil {
+		release()
+		m.logger.Error("sweep journal open failed; running unjournaled",
+			slog.String("sweep_id", j.ID), slog.String("error", err.Error()))
+		return
+	}
+	var recs []journal.Record
+	torn, err := lg.Replay(func(r journal.Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err == nil {
+		var st journalState
+		st, err = parseJournal(path, recs)
+		if err == nil && st.header != nil && st.header.Key != key {
+			err = fmt.Errorf("journal: %s belongs to a different grid (%s)", path, st.header.Key)
+		}
+		if err == nil {
+			if torn {
+				m.metrics.journalTorn.Inc()
+			}
+			sj := &sweepJournal{log: lg, mt: m.metrics, logger: m.logger, release: release}
+			if st.header == nil {
+				sj.append(recHeader, sweepHeader{Key: key, Spec: j.Spec, Cells: j.grid.NumCells()})
+				sj.sync()
+			}
+			j.mu.Lock()
+			j.journal = sj
+			if st.header != nil {
+				j.resumed = true
+				j.doneCells = st.cells
+				j.doneShards = st.shards
+			}
+			j.mu.Unlock()
+			if st.header != nil && st.done == nil {
+				m.metrics.journalResumedSweeps.Inc()
+				m.logger.Info("sweep resuming from journal",
+					slog.String("sweep_id", j.ID),
+					slog.Int("journaled_cells", len(st.cells)),
+					slog.Int("journaled_shards", len(st.shards)))
+			}
+			return
+		}
+	}
+	_ = lg.Close()
+	release()
+	m.logger.Error("sweep journal unusable; running unjournaled",
+		slog.String("sweep_id", j.ID), slog.String("error", err.Error()))
+}
+
+// Recover scans every sweep journal under DataDir: finished cells are
+// rebuilt into the result cache (outcomes only — journals do not
+// persist round streams), and every journal without a terminal record
+// is resubmitted as a fresh sweep job whose done-set makes it
+// re-execute only the missing run keys. A corrupt journal (mid-file
+// checksum failure, unparseable record) fails recovery — and with it
+// startup — naming the file and offset: silently skipping interior
+// records would serve a state that never existed. Call Recover once,
+// after the manager (and in coordinator mode the worker registry) is
+// up but before serving traffic; it is a no-op without a DataDir.
+func (m *Manager) Recover() error {
+	if m.cfg.DataDir == "" {
+		return nil
+	}
+	dir := m.journalDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: recover: %w", err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		return fmt.Errorf("service: recover: %w", err)
+	}
+	sort.Strings(paths)
+	var resume []SweepSpec
+	for _, p := range paths {
+		recs, torn, err := journal.ReadAll(p)
+		if err != nil {
+			return fmt.Errorf("service: recover: %w", err)
+		}
+		if torn {
+			m.metrics.journalTorn.Inc()
+		}
+		st, err := parseJournal(p, recs)
+		if err != nil {
+			return fmt.Errorf("service: recover: %w", err)
+		}
+		if st.header == nil {
+			continue // empty file (e.g. torn before the header landed)
+		}
+		cached := 0
+		for key, cell := range st.cells {
+			if cell.Outcome != nil && cell.Error == "" {
+				m.cache.Add(key, cacheEntry{Outcome: *cell.Outcome})
+				cached++
+			}
+		}
+		for _, sr := range st.shards {
+			for _, c := range sr.Cells {
+				if c.Outcome != nil && c.Error == "" {
+					m.cache.Add(cellKey(expt.Cell{
+						Algorithm: c.Algorithm, Workload: c.Workload,
+						N: c.N, Seed: c.Seed, MaxRounds: c.MaxRounds,
+					}), cacheEntry{Outcome: *c.Outcome})
+					cached++
+				}
+			}
+		}
+		m.logger.Info("sweep journal recovered",
+			slog.String("path", p),
+			slog.Int("cells", len(st.cells)),
+			slog.Int("shards", len(st.shards)),
+			slog.Int("cached", cached),
+			slog.Bool("torn", torn),
+			slog.Bool("finished", st.done != nil))
+		if st.done == nil {
+			resume = append(resume, st.header.Spec)
+		}
+	}
+	for _, spec := range resume {
+		go m.resumeSweep(spec)
+	}
+	return nil
+}
+
+// resumeSweep resubmits an interrupted grid, pacing retries through
+// the sweep gate: more incomplete journals than MaxConcurrentSweeps
+// simply queue up behind it.
+func (m *Manager) resumeSweep(spec SweepSpec) {
+	for {
+		j, err := m.SubmitSweep(context.Background(), spec)
+		switch {
+		case err == nil:
+			m.logger.Info("sweep resume submitted", slog.String("sweep_id", j.ID))
+			return
+		case errors.Is(err, ErrSweepBusy):
+			time.Sleep(200 * time.Millisecond)
+			if m.isClosed() {
+				return
+			}
+		default:
+			m.logger.Error("sweep resume failed", slog.String("error", err.Error()))
+			return
+		}
+	}
+}

@@ -93,6 +93,15 @@ type Config struct {
 	// connection buffers while the encode-once hub keeps every other
 	// subscriber live.
 	StreamWriteTimeout time.Duration
+	// DataDir, when set, makes sweeps durable: every sweep job writes
+	// a write-ahead journal under <DataDir>/sweeps — the spec at
+	// submission, then each finished cell (or, in coordinator mode,
+	// each completed shard). After a crash, Recover replays the intact
+	// journals, rebuilds finished outcomes into the result cache, and
+	// resubmits interrupted grids so only their missing run keys
+	// re-execute. Empty disables journaling (the pre-durability
+	// in-memory behavior).
+	DataDir string
 	// Fleet, when set, runs the manager in coordinator mode: sweep
 	// grids are sharded across the coordinator's registered worker
 	// servers (internal/fleet) instead of the local engine fleet, the
@@ -267,7 +276,11 @@ type Manager struct {
 	retired       []string        // finished job IDs, oldest first
 	sweeps        map[string]*SweepJob
 	retiredSweeps []string // finished sweep IDs, oldest first
-	closed        bool
+	// openJournals tracks which sweep spec keys currently own their
+	// on-disk journal; a second concurrent sweep over the same grid
+	// runs unjournaled instead of interleaving writers in one file.
+	openJournals map[string]struct{}
+	closed       bool
 
 	seq          atomic.Int64
 	runsExecuted atomic.Int64
@@ -281,15 +294,16 @@ type Manager struct {
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:       cfg,
-		cache:     newResultCache(cfg.CacheSize),
-		queue:     make(chan *Job, cfg.QueueDepth),
-		jobs:      make(map[string]*Job),
-		inWork:    make(map[string]*Job),
-		sweeps:    make(map[string]*SweepJob),
-		sweepGate: make(chan struct{}, cfg.MaxConcurrentSweeps),
-		logger:    cfg.Logger,
-		start:     time.Now(),
+		cfg:          cfg,
+		cache:        newResultCache(cfg.CacheSize),
+		queue:        make(chan *Job, cfg.QueueDepth),
+		jobs:         make(map[string]*Job),
+		inWork:       make(map[string]*Job),
+		sweeps:       make(map[string]*SweepJob),
+		openJournals: make(map[string]struct{}),
+		sweepGate:    make(chan struct{}, cfg.MaxConcurrentSweeps),
+		logger:       cfg.Logger,
+		start:        time.Now(),
 	}
 	m.metrics = newMetrics(cfg.Metrics, cfg.Logger)
 	m.registerManagerGauges(cfg.Metrics)
@@ -331,6 +345,15 @@ func (m *Manager) Close() {
 	close(m.queue)
 	m.wg.Wait()
 	m.sweepWG.Wait()
+}
+
+// isClosed reports whether Close has begun. Sweep journals consult it
+// at terminal time: a shutdown-canceled sweep writes no terminal
+// record, so the next startup resumes it like a crash.
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
 }
 
 // Submit validates spec and returns a job for it: a pre-completed one

@@ -56,6 +56,18 @@ type metrics struct {
 	streamBytesSent   *obs.CounterVec
 	streamDropped     *obs.CounterVec
 
+	// Sweep journal (durability layer). Records/bytes count appends;
+	// replayed cells/shards prove, at scrape time, that a resumed
+	// sweep re-executed only its missing run keys; resumed sweeps
+	// count journals picked up with prior work in them; torn records
+	// count truncated final records tolerated during replay.
+	journalRecords        *obs.CounterVec
+	journalBytes          *obs.Counter
+	journalReplayedCells  *obs.Counter
+	journalReplayedShards *obs.Counter
+	journalResumedSweeps  *obs.Counter
+	journalTorn           *obs.Counter
+
 	// Per-kind producer hooks handed to the streams at construction.
 	roundsObs, cellsObs, topoObs, topoPackedObs *streamObs
 	// Per-kind fan-out-side series, resolved once for the handlers.
@@ -130,6 +142,19 @@ func newMetrics(reg *obs.Registry, logger *slog.Logger) *metrics {
 		streamDropped: reg.CounterVec("adnet_stream_subscribers_dropped_total",
 			"Subscribers dropped by the backpressure policy (write deadline exceeded or write error), by stream kind.",
 			"stream"),
+		journalRecords: reg.CounterVec("adnet_journal_records_total",
+			"Sweep journal records appended, by kind (header, cell, shard, done).",
+			"kind"),
+		journalBytes: reg.Counter("adnet_journal_appended_bytes_total",
+			"Payload bytes appended to sweep journals (framing excluded)."),
+		journalReplayedCells: reg.Counter("adnet_journal_replayed_cells_total",
+			"Grid cells answered from a sweep journal's done-set instead of executing."),
+		journalReplayedShards: reg.Counter("adnet_journal_replayed_shards_total",
+			"Coordinator shards served from a sweep journal instead of re-dispatching."),
+		journalResumedSweeps: reg.Counter("adnet_journal_resumed_sweeps_total",
+			"Sweep jobs that picked up prior work from an incomplete journal."),
+		journalTorn: reg.Counter("adnet_journal_torn_records_total",
+			"Torn final journal records truncated and tolerated during replay."),
 	}
 	m.roundsObs = m.streamObsFor(streamRounds)
 	m.cellsObs = m.streamObsFor(streamCells)

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adnet/internal/expt"
+	"adnet/internal/journal"
+	"adnet/internal/runkey"
+)
+
+// journaledCells parses a spec's journal off disk and returns its
+// done-set size — the cells a resumed sweep must NOT re-execute.
+func journaledCells(t *testing.T, dataDir string, spec SweepSpec) int {
+	t.Helper()
+	path := filepath.Join(dataDir, "sweeps", runkey.Hash(spec.Key())+".wal")
+	recs, _, err := journal.ReadAll(path)
+	if err != nil {
+		t.Fatalf("read journal %s: %v", path, err)
+	}
+	st, err := parseJournal(path, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.header == nil {
+		t.Fatalf("journal %s has no header", path)
+	}
+	if st.done != nil {
+		t.Fatalf("interrupted sweep's journal carries a terminal record: %+v", st.done)
+	}
+	return len(st.cells)
+}
+
+// TestSweepJournalResumeAfterInterruption is the in-process version of
+// the e2e crash test: a journaled sweep interrupted mid-grid (Close
+// cancels it without a terminal record, exactly like a kill would) is
+// resubmitted by Recover on a fresh manager over the same data dir,
+// re-executes only the missing cells, and folds to an aggregate
+// byte-identical to an uninterrupted single-process run.
+func TestSweepJournalResumeAfterInterruption(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	spec := slowSweepSpec(1, 2, 3, 4, 5, 6, 7, 8)
+	total := spec.Expt().NumCells()
+
+	m1 := NewManager(Config{Workers: 1, SweepWorkers: 1, DataDir: dir})
+	j1, err := m1.SubmitSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the sweep get provably mid-grid, then interrupt it.
+	deadline := time.Now().Add(60 * time.Second)
+	for j1.Status().CellsDone == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first cell never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	m1.Close()
+
+	done := journaledCells(t, dir, spec)
+	if done == 0 || done >= total {
+		t.Fatalf("journal holds %d of %d cells; the test needs a mid-grid interruption", done, total)
+	}
+
+	m2 := NewManager(Config{Workers: 1, SweepWorkers: 1, DataDir: dir})
+	defer m2.Close()
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Recover resubmits asynchronously; find the resumed job.
+	var resumed *SweepJob
+	deadline = time.Now().Add(60 * time.Second)
+	for resumed == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("Recover never resubmitted the interrupted sweep")
+		}
+		for _, st := range m2.Sweeps() {
+			if j, ok := m2.GetSweep(st.ID); ok {
+				resumed = j
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	deadline = time.Now().Add(120 * time.Second)
+	for resumed.State() != StateDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed sweep stuck in %s", resumed.State())
+		}
+		if s := resumed.State(); s == StateFailed || s == StateCanceled {
+			t.Fatalf("resumed sweep ended %s", s)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	st := resumed.Status()
+	if !st.Resumed {
+		t.Error("resumed job does not report resumed=true")
+	}
+	if st.Summary == nil {
+		t.Fatal("no summary on the resumed sweep")
+	}
+	if st.Summary.Replayed != done {
+		t.Errorf("summary replayed = %d, want the journal's %d cells", st.Summary.Replayed, done)
+	}
+	if st.Summary.Errors != 0 {
+		t.Errorf("resumed sweep reported %d cell errors", st.Summary.Errors)
+	}
+	if st.Summary.Executed != total-done {
+		t.Errorf("executed = %d, want only the %d missing cells", st.Summary.Executed, total-done)
+	}
+	if got := m2.RunsExecuted(); got != int64(total-done) {
+		t.Errorf("RunsExecuted = %d, want %d — replayed cells must not re-simulate", got, total-done)
+	}
+
+	// The merged aggregate is byte-identical to an uninterrupted run.
+	groups, err := resumed.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := expt.AggregateSweep(spec.Expt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed aggregate diverged from uninterrupted reference:\n%s\nvs\n%s", got, want)
+	}
+
+	// The finished resume wrote its terminal record: a third startup
+	// has nothing to resume.
+	m2.Close()
+	path := filepath.Join(dir, "sweeps", runkey.Hash(spec.Key())+".wal")
+	recs, _, err := journal.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stj, err := parseJournal(path, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stj.done == nil {
+		t.Fatal("finished resumed sweep left no terminal record")
+	}
+	m3 := NewManager(Config{Workers: 1, DataDir: dir})
+	defer m3.Close()
+	if err := m3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := len(m3.Sweeps()); n != 0 {
+		t.Fatalf("recovery after a finished sweep resubmitted %d jobs, want 0", n)
+	}
+}
+
+// TestRecoverRefusesCorruptJournal pins the strictness split: a
+// mid-file checksum mismatch (not a torn tail) must fail Recover — and
+// with it startup — naming the file and offset, never silently serve a
+// journal state that never existed.
+func TestRecoverRefusesCorruptJournal(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	sweepDir := filepath.Join(dir, "sweeps")
+	if err := os.MkdirAll(sweepDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	spec := sweepSpec()
+	path := filepath.Join(sweepDir, runkey.Hash(spec.Key())+".wal")
+	lg, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Replay(func(journal.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	header, _ := json.Marshal(sweepHeader{Key: spec.Key(), Spec: spec, Cells: spec.Expt().NumCells()})
+	payload, _ := json.Marshal(cellRecord{RunKey: "k"})
+	for _, rec := range [][2]any{{recHeader, header}, {recCell, payload}, {recCell, payload}} {
+		if err := lg.Append(rec[0].(byte), rec[1].([]byte)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte of the MIDDLE record: an interior checksum
+	// failure, not a torn tail.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	middle := 8 + len(header) + 1 + 8 + 4 // into record 1's payload
+	raw[middle] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewManager(Config{Workers: 1, DataDir: dir})
+	defer m.Close()
+	err = m.Recover()
+	if err == nil {
+		t.Fatal("Recover accepted a journal with an interior checksum failure")
+	}
+	if !strings.Contains(err.Error(), "corrupt at offset") || !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name the corruption offset and file", err)
+	}
+}

@@ -82,7 +82,9 @@ func jsonFrame[T any](item T) []byte {
 		// The stream item types (RoundStats, SweepCell, TopologyFrame)
 		// marshal unconditionally; surface the impossible case as a
 		// well-formed NDJSON error line rather than corrupting framing.
-		b, _ = json.Marshal(errorResponse{Error: "encode: " + err.Error()})
+		b, _ = json.Marshal(errorResponse{Error: ErrorBody{
+			Code: codeInternal, Message: "encode: " + err.Error(),
+		}})
 	}
 	return append(b, '\n')
 }

@@ -40,12 +40,16 @@ type SweepCell struct {
 }
 
 // SweepSummary trails the per-cell stream with sweep-level totals.
+// Replayed counts cells answered from the sweep's journal done-set
+// (they count as cache hits too); omitempty keeps the wire shape of
+// an uninterrupted run byte-identical to pre-durability servers.
 type SweepSummary struct {
 	Done      bool `json:"done"`
 	Cells     int  `json:"cells"`
 	CacheHits int  `json:"cache_hits"`
 	Executed  int  `json:"executed"`
 	Errors    int  `json:"errors"`
+	Replayed  int  `json:"replayed,omitempty"`
 }
 
 // SweepJob tracks one submitted SweepSpec grid through the same
@@ -66,6 +70,15 @@ type SweepJob struct {
 	// lifecycle logs — and coordinator→worker dispatches — stay
 	// correlatable with the submission.
 	reqID string
+
+	// Durability (nil/false without a DataDir): journal is the job's
+	// write-ahead log; doneCells/doneShards are the replayed done-sets
+	// of a resumed grid (read-only once execution starts); resumed
+	// marks a job whose journal carried prior work at submission.
+	journal    *sweepJournal
+	doneCells  map[string]SweepCell
+	doneShards map[string]shardRecord
+	resumed    bool
 
 	mu         sync.Mutex
 	cancelOnce sync.Once
@@ -94,12 +107,15 @@ type SweepStatus struct {
 	CellsDone int `json:"cells_done"`
 	// StreamBytes is the encoded NDJSON bytes currently retained in
 	// the sweep's cell-stream frame log (bounded by RetainFrameBytes).
-	StreamBytes int64         `json:"stream_bytes"`
-	Summary     *SweepSummary `json:"summary,omitempty"`
-	Error       string        `json:"error,omitempty"`
-	EnqueuedAt  time.Time     `json:"enqueued_at"`
-	StartedAt   *time.Time    `json:"started_at,omitempty"`
-	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	StreamBytes int64 `json:"stream_bytes"`
+	// Resumed marks a job whose journal carried work from a previous
+	// process life: only the missing run keys execute.
+	Resumed    bool          `json:"resumed,omitempty"`
+	Summary    *SweepSummary `json:"summary,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	EnqueuedAt time.Time     `json:"enqueued_at"`
+	StartedAt  *time.Time    `json:"started_at,omitempty"`
+	FinishedAt *time.Time    `json:"finished_at,omitempty"`
 }
 
 // Status snapshots the sweep job.
@@ -113,6 +129,7 @@ func (j *SweepJob) Status() SweepStatus {
 		Cells:       j.grid.NumCells(),
 		CellsDone:   j.cells.Len(),
 		StreamBytes: j.cells.FrameBytes(),
+		Resumed:     j.resumed,
 		EnqueuedAt:  j.enqueued,
 	}
 	if j.summary != nil {
@@ -225,6 +242,12 @@ func (m *Manager) SubmitSweep(ctx context.Context, spec SweepSpec) (*SweepJob, e
 	m.sweepWG.Add(1)
 	m.mu.Unlock()
 	m.metrics.sweepsActive.Inc()
+	if m.cfg.DataDir != "" {
+		// Attach the write-ahead journal (and replay any previous
+		// life's done-set) before execution starts; failures degrade to
+		// an unjournaled sweep, never a rejected submission.
+		m.openSweepJournal(j)
+	}
 	m.logger.InfoContext(ctx, "sweep accepted",
 		slog.String("sweep_id", j.ID),
 		slog.Int("cells", j.grid.NumCells()))
@@ -307,6 +330,16 @@ func (m *Manager) executeSweep(j *SweepJob) {
 	defer func() {
 		<-m.sweepGate
 		m.metrics.sweepsActive.Dec()
+		if j.journal != nil {
+			// Seal the journal — unless the manager is shutting down:
+			// a shutdown-canceled sweep must look like a crash so the
+			// next startup resumes it.
+			if st := j.Status(); st.Summary != nil && !m.isClosed() {
+				j.journal.append(recDone, doneRecord{State: st.State, Summary: *st.Summary})
+			}
+			j.journal.sync()
+			j.journal.close()
+		}
 		j.cells.close()
 		m.retireSweep(j)
 	}()
@@ -357,9 +390,9 @@ func (m *Manager) executeSweep(j *SweepJob) {
 	var groups []expt.AggregateGroup
 	var err error
 	if m.cfg.Fleet != nil {
-		sum, groups, err = m.runGridFleet(ctx, j.grid, emit)
+		sum, groups, err = m.runGridFleet(ctx, j, emit)
 	} else {
-		sum, err = m.runGrid(ctx, j.grid, emit)
+		sum, err = m.runGrid(ctx, j, emit)
 	}
 	switch {
 	case err == nil:
@@ -378,14 +411,19 @@ func (m *Manager) executeSweep(j *SweepJob) {
 	}
 }
 
-// runGrid executes the grid on an engine fleet of cfg.SweepWorkers
-// runners, consulting the manager's result cache per cell (the keys
-// are canonical, so cells repeat runs submitted via POST /v1/runs and
-// vice versa) and storing fresh results — with per-round statistics,
-// so later cache-hit runs can still replay their round streams. emit
-// receives cells in canonical grid order from the calling goroutine.
-// Cancellation via ctx aborts between rounds/cells.
-func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(SweepCell)) (SweepSummary, error) {
+// runGrid executes the job's grid on an engine fleet of
+// cfg.SweepWorkers runners, consulting the job's journal done-set
+// first (replayed cells re-execute nothing), then the manager's
+// result cache per cell (the keys are canonical, so cells repeat runs
+// submitted via POST /v1/runs and vice versa), and storing fresh
+// results — with per-round statistics, so later cache-hit runs can
+// still replay their round streams. Every successfully finished,
+// non-replayed cell is appended to the job's journal, so a crash
+// re-executes only the missing run keys. emit receives cells in
+// canonical grid order from the calling goroutine. Cancellation via
+// ctx aborts between rounds/cells.
+func (m *Manager) runGrid(ctx context.Context, j *SweepJob, emit func(SweepCell)) (SweepSummary, error) {
+	spec := j.grid
 	sum := SweepSummary{Cells: spec.NumCells()}
 	workers := m.cfg.SweepWorkers
 	if n := spec.NumCells(); workers > n {
@@ -402,6 +440,17 @@ func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(Sw
 		CollectRounds: true,
 		Cancel:        ctx.Done(),
 		CellTimeLimit: m.cfg.RunTimeLimit,
+		Done: func(c expt.Cell) (expt.Outcome, bool) {
+			if j.doneCells == nil {
+				return expt.Outcome{}, false
+			}
+			cell, ok := j.doneCells[cellKey(c)]
+			if !ok || cell.Outcome == nil || cell.Error != "" {
+				return expt.Outcome{}, false
+			}
+			m.metrics.journalReplayedCells.Inc()
+			return *cell.Outcome, true
+		},
 		Lookup: func(c expt.Cell) (expt.Outcome, []temporal.RoundStats, bool) {
 			key := cellKey(c)
 			if e, ok := m.cache.Get(key); ok {
@@ -431,6 +480,9 @@ func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(Sw
 			if cr.FromCache {
 				sum.CacheHits++
 			}
+			if cr.Replayed {
+				sum.Replayed++
+			}
 			m.metrics.observeCell(cr.Ran, cr.FromCache, cr.Err != nil, cr.Duration.Seconds())
 			cell := SweepCell{
 				Index:     cr.Index,
@@ -447,6 +499,12 @@ func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(Sw
 			} else {
 				out := cr.Outcome
 				cell.Outcome = &out
+			}
+			// Journal every successful cell that is not itself a replay
+			// (replays are already on disk). Error cells stay out so a
+			// resumed sweep retries them.
+			if j.journal != nil && cr.Err == nil && !cr.Replayed {
+				j.journal.append(recCell, cellRecord{RunKey: cellKey(cr.Cell), Cell: cell})
 			}
 			if emit != nil {
 				emit(cell)
@@ -468,11 +526,41 @@ func (m *Manager) runGrid(ctx context.Context, spec expt.SweepSpec, emit func(Sw
 // the same grid would aggregate. Worker failure mid-shard re-dispatches
 // the shard to a healthy worker inside fleet.RunGrid; emit still
 // receives every cell exactly once, in canonical order, from this
-// goroutine. Cell results are not entered into the local result cache:
-// they already live in the worker-side caches, and a coordinator exists
-// to stay out of simulation work entirely.
-func (m *Manager) runGridFleet(ctx context.Context, spec expt.SweepSpec, emit func(SweepCell)) (SweepSummary, []expt.AggregateGroup, error) {
-	fsum, groups, err := m.cfg.Fleet.RunGrid(ctx, spec, func(c fleet.Cell) {
+// goroutine. Durability works at shard granularity: completed shards
+// are journaled via the Persist hook, and a resumed grid serves them
+// back through Completed instead of re-dispatching — a fresh
+// coordinator on a dead one's data dir picks the grid up exactly
+// where the journal left it. Cell results are not entered into the
+// local result cache: they already live in the worker-side caches, and
+// a coordinator exists to stay out of simulation work entirely.
+func (m *Manager) runGridFleet(ctx context.Context, j *SweepJob, emit func(SweepCell)) (SweepSummary, []expt.AggregateGroup, error) {
+	var hooks fleet.GridHooks
+	if len(j.doneShards) > 0 {
+		hooks.Completed = func(shardKey string) (fleet.ShardResult, bool) {
+			sr, ok := j.doneShards[shardKey]
+			if !ok {
+				return fleet.ShardResult{}, false
+			}
+			m.metrics.journalReplayedShards.Inc()
+			return fleet.ShardResult{
+				Key: sr.Key, Index: sr.Index, Offset: sr.Offset,
+				Cells: sr.Cells, Groups: sr.Groups,
+			}, true
+		}
+	}
+	if j.journal != nil {
+		hooks.Persist = func(res fleet.ShardResult) {
+			// Called from dispatcher goroutines; journal appends are
+			// serialized by the log's own lock. A completed shard is a
+			// milestone worth an fsync.
+			j.journal.append(recShard, shardRecord{
+				Key: res.Key, Index: res.Index, Offset: res.Offset,
+				Cells: res.Cells, Groups: res.Groups,
+			})
+			j.journal.sync()
+		}
+	}
+	fsum, groups, err := m.cfg.Fleet.RunGrid(ctx, j.grid, func(c fleet.Cell) {
 		// The coordinator counts merged cells too (no durations — the
 		// workers own those), so cross-process cell totals can be
 		// checked against each other at scrape time.
@@ -488,13 +576,14 @@ func (m *Manager) runGridFleet(ctx context.Context, spec expt.SweepSpec, emit fu
 			Outcome:   c.Outcome,
 			Error:     c.Error,
 		})
-	})
+	}, hooks)
 	sum := SweepSummary{
 		Done:      err == nil,
 		Cells:     fsum.Cells,
 		CacheHits: fsum.CacheHits,
 		Executed:  fsum.Executed,
 		Errors:    fsum.Errors,
+		Replayed:  fsum.Replayed,
 	}
 	return sum, groups, err
 }
