@@ -17,6 +17,15 @@
 // (algorithm, workload, n) group) for plotting pipelines:
 //
 //	adnet -algo graph-to-star -graph random -n 512 -aggregate -csv
+//
+// With -robustness the grid runs once undisturbed and once per
+// -dynamics class, and the success/overhead matrix is printed (or
+// exported with -csv / -json); -gate compares the matrix against a
+// committed snapshot and fails on regression:
+//
+//	adnet -robustness -graph line -n 32 -seeds 1,2,3
+//	adnet -robustness -dynamics edge-churn,crash -json > ROBUSTNESS_LATEST.json
+//	adnet -robustness -gate ROBUSTNESS_LATEST.json
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"os"
 	"strings"
 
+	"adnet/internal/dynamics"
 	"adnet/internal/expt"
 )
 
@@ -38,11 +48,22 @@ func main() {
 	verify := flag.Bool("verify", false, "fail unless a unique correct leader was elected")
 	aggregate := flag.Bool("aggregate", false, "repeat across -seeds and print mean/min/max/stddev statistics")
 	seedsFlag := flag.String("seeds", "1,2,3,4,5", "aggregate mode: comma-separated workload seeds")
-	csvOut := flag.Bool("csv", false, "aggregate mode: emit CSV (one row per group) instead of a table")
+	csvOut := flag.Bool("csv", false, "aggregate/robustness mode: emit CSV instead of a table")
+	robustness := flag.Bool("robustness", false, "run the robustness matrix: baseline plus each -dynamics class over -algos x -graph x -n x -seeds")
+	algosFlag := flag.String("algos", "", "robustness mode: comma-separated algorithms (default: every distributed algorithm)")
+	dynFlag := flag.String("dynamics", strings.Join(dynamics.Classes(), ","), "robustness mode: comma-separated dynamics classes")
+	jsonOut := flag.Bool("json", false, "robustness mode: emit the snapshot JSON (the ROBUSTNESS_LATEST.json shape)")
+	gate := flag.String("gate", "", "robustness mode: fail unless every row of the snapshot FILE still succeeds as often")
 	flag.Parse()
 
-	if *csvOut && !*aggregate {
-		fatal(fmt.Errorf("-csv requires -aggregate"))
+	if *csvOut && !*aggregate && !*robustness {
+		fatal(fmt.Errorf("-csv requires -aggregate or -robustness"))
+	}
+	if *robustness {
+		if err := runRobustness(*algosFlag, *workload, *n, *seedsFlag, *dynFlag, *csvOut, *jsonOut, *gate); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *aggregate {
 		if err := runAggregate(*algo, *workload, *n, *seedsFlag, *verify, *csvOut); err != nil {
@@ -108,6 +129,79 @@ func runAggregate(algo, workload string, n int, seedList string, verify, asCSV b
 		}
 	}
 	return nil
+}
+
+// runRobustness executes the robustness matrix over the requested
+// algorithms, dynamics classes and seeds, renders it (table, CSV or
+// snapshot JSON), and optionally gates it against a committed
+// snapshot.
+func runRobustness(algoList, workload string, n int, seedList, dynList string, asCSV, asJSON bool, gatePath string) error {
+	seeds, err := expt.ParseSeeds(seedList)
+	if err != nil {
+		return err
+	}
+	algos := splitList(algoList)
+	if len(algos) == 0 {
+		for _, a := range expt.Algorithms() {
+			if a != expt.AlgoCentralized {
+				algos = append(algos, a)
+			}
+		}
+	}
+	var dyns []dynamics.Spec
+	for _, class := range splitList(dynList) {
+		dyns = append(dyns, dynamics.Spec{Class: class})
+	}
+	rows, err := expt.RobustnessMatrix(expt.RobustnessSpec{
+		Algorithms: algos,
+		Workloads:  []string{workload},
+		Sizes:      []int{n},
+		Seeds:      seeds,
+		Dynamics:   dyns,
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case asJSON:
+		b, err := expt.RobustnessJSON(rows)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+	case asCSV:
+		if err := expt.RobustnessCSV(os.Stdout, rows); err != nil {
+			return err
+		}
+	default:
+		fmt.Println(expt.RobustnessTable(rows).String())
+	}
+	if gatePath != "" {
+		data, err := os.ReadFile(gatePath)
+		if err != nil {
+			return err
+		}
+		baseline, err := expt.ParseRobustness(data)
+		if err != nil {
+			return err
+		}
+		if err := expt.CompareRobustness(rows, baseline); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "adnet: robustness gate passed against %s (%d rows)\n", gatePath, len(baseline))
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

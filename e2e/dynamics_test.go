@@ -1,0 +1,69 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestDynamicsMetricsEndToEnd runs a churned sweep and a single
+// crash-wave run against a real server process, then scrapes /metrics
+// and asserts the adnet_dynamics_* series account for the injected
+// perturbations. Flood tolerates churn, so the sweep completes without
+// cell errors and every run folds its environment counters.
+func TestDynamicsMetricsEndToEnd(t *testing.T) {
+	base := startServer(t)
+
+	const sweepBody = `{"algorithms":["flood"],"workloads":["line","ring"],"sizes":[16],"seeds":[1,2,3],` +
+		`"dynamics":{"class":"edge-churn","rate":2}}`
+	const cells = 2 * 3
+	id, code := postSweep(t, base, sweepBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d", code)
+	}
+	status := awaitSweep(t, base, id, "done")
+	var summary struct {
+		Executed int `json:"executed"`
+		Errors   int `json:"errors"`
+	}
+	json.Unmarshal(status["summary"], &summary)
+	if summary.Errors != 0 || summary.Executed != cells {
+		t.Fatalf("churned sweep: executed=%d errors=%d, want %d/0", summary.Executed, summary.Errors, cells)
+	}
+
+	runID, code := postRun(t, base,
+		`{"algorithm":"flood","workload":"ring","n":24,"seed":5,"dynamics":{"class":"crash","rate":2,"down":2}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs = %d", code)
+	}
+	awaitRun(t, base, runID, "done")
+
+	m := scrapeMetrics(t, base)
+	if v, _ := m.Value("adnet_dynamics_runs_total", nil); v != cells+1 {
+		t.Errorf("adnet_dynamics_runs_total = %v, want %d", v, cells+1)
+	}
+	acts, _ := m.Value("adnet_dynamics_env_activations_total", nil)
+	deacts, _ := m.Value("adnet_dynamics_env_deactivations_total", nil)
+	if acts+deacts <= 0 {
+		t.Errorf("env edit counters = %v/%v, want > 0 after churned sweep", acts, deacts)
+	}
+	if v, _ := m.Value("adnet_dynamics_crashes_total", nil); v <= 0 {
+		t.Errorf("adnet_dynamics_crashes_total = %v, want > 0 after crash run", v)
+	}
+	if v, ok := m.Value("adnet_dynamics_restarts_total", nil); !ok {
+		t.Errorf("adnet_dynamics_restarts_total missing (%v)", v)
+	}
+
+	// A dynamics-free run must leave the dynamics counters untouched.
+	runID, code = postRun(t, base, `{"algorithm":"flood","workload":"ring","n":24,"seed":5}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs (baseline) = %d", code)
+	}
+	awaitRun(t, base, runID, "done")
+	m = scrapeMetrics(t, base)
+	if v, _ := m.Value("adnet_dynamics_runs_total", nil); v != cells+1 {
+		t.Errorf("baseline run bumped adnet_dynamics_runs_total to %v", v)
+	}
+}

@@ -1,0 +1,230 @@
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"adnet/internal/graph"
+	"adnet/internal/sim"
+)
+
+func TestSpecValidate(t *testing.T) {
+	t.Parallel()
+	good := []Spec{
+		{Class: ClassEdgeChurn},
+		{Class: ClassEdgeChurn, Rate: 3, Preserve: true},
+		{Class: ClassTargetedCut, Rate: 2},
+		{Class: ClassBurst, Quiet: 2, Storm: 5},
+		{Class: ClassCrash, Down: 1, Mode: ModeReboot},
+		{Class: ClassCrash},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	bad := []struct {
+		spec Spec
+		frag string
+	}{
+		{Spec{}, "unknown class"},
+		{Spec{Class: "meteor"}, "unknown class"},
+		{Spec{Class: ClassEdgeChurn, Rate: -1}, "rate must be positive"},
+		{Spec{Class: ClassBurst, Quiet: -3}, "positive quiet/storm"},
+		{Spec{Class: ClassCrash, Mode: "hibernate"}, "unknown crash mode"},
+		{Spec{Class: ClassCrash, Down: -1}, "down-time must be positive"},
+		{Spec{Class: ClassEdgeChurn, Mode: ModeSleep}, "mode applies"},
+	}
+	for _, tc := range bad {
+		err := tc.spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("Validate(%+v) = %v, want %q", tc.spec, err, tc.frag)
+		}
+	}
+}
+
+func TestSpecKeyCanonical(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Class: ClassEdgeChurn}, "edge-churn,k=1,preserve=false,seed=0"},
+		{Spec{Class: ClassTargetedCut, Rate: 2}, "targeted-cut,k=2,seed=0"},
+		{Spec{Class: ClassBurst}, "burst,k=1,preserve=false,quiet=8,storm=4,seed=0"},
+		{Spec{Class: ClassCrash, Seed: 9}, "crash,k=1,down=3,mode=sleep,seed=9"},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.Key(); got != tc.want {
+			t.Errorf("Key(%+v) = %q, want %q", tc.spec, got, tc.want)
+		}
+	}
+	// Spelling out a default must render the same key as omitting it.
+	if a, b := (Spec{Class: ClassBurst, Rate: 1, Quiet: 8}).Key(), (Spec{Class: ClassBurst}).Key(); a != b {
+		t.Errorf("normalized keys differ: %q vs %q", a, b)
+	}
+}
+
+func TestNewScheduleUnknownClass(t *testing.T) {
+	t.Parallel()
+	if _, err := NewSchedule(Spec{Class: "meteor"}); err == nil {
+		t.Fatalf("NewSchedule accepted unknown class")
+	}
+	if _, err := New(Spec{Class: "meteor"}, 1); err == nil {
+		t.Fatalf("New accepted unknown class")
+	}
+	for _, class := range Classes() {
+		s, err := NewSchedule(Spec{Class: class})
+		if err != nil {
+			t.Fatalf("NewSchedule(%q): %v", class, err)
+		}
+		if s.Class() != class {
+			t.Errorf("schedule for %q reports class %q", class, s.Class())
+		}
+	}
+}
+
+// expandMachine activates edges to unseen distance-2 nodes (a small
+// clique-former), giving targeted-cut schedules activated edges to
+// rank. It halts at a fixed round so perturbed runs still terminate.
+type expandMachine struct{ rounds int }
+
+func (m *expandMachine) Init(*sim.Context) {}
+
+func (m *expandMachine) Send(ctx *sim.Context) {
+	ctx.Broadcast(append([]graph.ID(nil), ctx.Neighbors()...))
+}
+
+func (m *expandMachine) Receive(ctx *sim.Context, inbox []sim.Message) {
+	seen := map[graph.ID]bool{ctx.ID(): true}
+	for _, v := range ctx.Neighbors() {
+		seen[v] = true
+	}
+	for _, msg := range inbox {
+		for _, w := range msg.Payload.([]graph.ID) {
+			if !seen[w] {
+				seen[w] = true
+				ctx.Activate(w)
+			}
+		}
+	}
+	if ctx.Round() >= m.rounds {
+		ctx.Halt()
+	}
+}
+
+// envFingerprint runs the machine under a fresh Env for spec and
+// returns a deterministic rendering of the full execution: final
+// metrics plus every round's algorithm and environment trace.
+func envFingerprint(t *testing.T, spec Spec, workers int) string {
+	t.Helper()
+	env, err := New(spec, 7)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", spec, err)
+	}
+	factory := func(id graph.ID, _ sim.Env) sim.Machine { return &expandMachine{rounds: 24} }
+	res, err := sim.Run(graph.Grid(4, 6), factory,
+		sim.WithEnvironment(env),
+		sim.WithTrace(),
+		sim.WithMaxRounds(200),
+		sim.WithParallelism(workers))
+	if err != nil {
+		t.Fatalf("Run(%+v, workers=%d): %v", spec, workers, err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics=%+v\n", res.Metrics)
+	crashes, restarts := env.Counts()
+	fmt.Fprintf(&b, "faults=%d/%d\n", crashes, restarts)
+	for r := 1; ; r++ {
+		act, deact, ok := res.History.TraceRound(r)
+		if !ok {
+			break
+		}
+		fmt.Fprintf(&b, "r%d alg %v %v", r, act, deact)
+		if ea, ed, ok := res.History.TraceEnvRound(r); ok {
+			fmt.Fprintf(&b, " env %v %v", ea, ed)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestSchedulesDeterministicAcrossParallelism(t *testing.T) {
+	t.Parallel()
+	specs := []Spec{
+		{Class: ClassEdgeChurn, Rate: 2},
+		{Class: ClassEdgeChurn, Rate: 2, Preserve: true},
+		{Class: ClassTargetedCut, Rate: 2},
+		{Class: ClassBurst, Quiet: 3, Storm: 2},
+		{Class: ClassCrash, Rate: 2, Down: 2},
+		{Class: ClassCrash, Rate: 1, Down: 1, Mode: ModeReboot},
+	}
+	workers := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Key(), func(t *testing.T) {
+			t.Parallel()
+			want := envFingerprint(t, spec, workers[0])
+			for _, w := range workers[1:] {
+				if got := envFingerprint(t, spec, w); got != want {
+					t.Fatalf("workers=%d diverged from workers=%d:\n%s\nvs\n%s", w, workers[0], got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestChurnPreserveKeepsConnectivity(t *testing.T) {
+	t.Parallel()
+	// A tree is maximally fragile: any unguarded cut disconnects it.
+	// With Preserve on, the engine-level connectivity check must never
+	// fire — the run fails on the round limit instead (the passive
+	// machine never halts), or completes.
+	env, err := New(Spec{Class: ClassEdgeChurn, Rate: 3, Preserve: true}, 5)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	factory := func(id graph.ID, _ sim.Env) sim.Machine { return &expandMachine{rounds: 40} }
+	_, err = sim.Run(graph.CompleteBinaryTree(31), factory,
+		sim.WithEnvironment(env),
+		sim.WithConnectivityCheck(),
+		sim.WithMaxRounds(60))
+	if errors.Is(err, sim.ErrDisconnected) {
+		t.Fatalf("preserve=true disconnected the graph: %v", err)
+	}
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEnvCountsMatchMetrics(t *testing.T) {
+	t.Parallel()
+	env, err := New(Spec{Class: ClassCrash, Rate: 2, Down: 2}, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	factory := func(id graph.ID, _ sim.Env) sim.Machine { return &expandMachine{rounds: 30} }
+	res, err := sim.Run(graph.Ring(12), factory,
+		sim.WithEnvironment(env),
+		sim.WithMaxRounds(100))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	crashes, restarts := env.Counts()
+	if crashes == 0 {
+		t.Fatalf("crash schedule injected no crashes over 30 rounds")
+	}
+	if restarts > crashes {
+		t.Fatalf("restarts %d > crashes %d", restarts, crashes)
+	}
+	if res.Metrics.Rounds == 0 {
+		t.Fatalf("no rounds recorded")
+	}
+	if !reflect.DeepEqual(env.Spec(), Spec{Class: ClassCrash, Rate: 2, Down: 2}.Normalize()) {
+		t.Fatalf("Env.Spec() = %+v not normalized", env.Spec())
+	}
+}

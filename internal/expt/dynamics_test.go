@@ -1,0 +1,102 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"adnet/internal/dynamics"
+)
+
+// S1: unknown-name errors must list the valid names, matching the
+// service spec idiom.
+func TestUnknownNameErrorsListValidNames(t *testing.T) {
+	t.Parallel()
+	_, err := Workload("no-such-family", 8, 1)
+	if err == nil || !strings.Contains(err.Error(), "want one of") || !strings.Contains(err.Error(), "line") {
+		t.Errorf("workload error should list families: %v", err)
+	}
+	_, err = Execute(Request{Algorithm: "no-such-algo", Workload: "line", N: 8})
+	if err == nil || !strings.Contains(err.Error(), "want one of") || !strings.Contains(err.Error(), AlgoFlood) {
+		t.Errorf("algorithm error should list algorithms: %v", err)
+	}
+	spec := SweepSpec{Algorithms: []string{"no-such-algo"}, Workloads: []string{"line"}, Sizes: []int{8}, Seeds: []int64{1}}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "want one of") {
+		t.Errorf("sweep algorithm error should list algorithms: %v", err)
+	}
+}
+
+func TestExecuteWithDynamics(t *testing.T) {
+	t.Parallel()
+	req := Request{
+		Algorithm: AlgoFlood, Workload: "line", N: 16, Seed: 1,
+		Dynamics: &dynamics.Spec{Class: dynamics.ClassEdgeChurn, Rate: 2},
+	}
+	out, err := Execute(req)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !out.LeaderOK {
+		t.Fatalf("flood under churn failed: %+v", out)
+	}
+	if out.EnvActivations+out.EnvDeactivations == 0 {
+		t.Fatalf("churn produced no env edits: %+v", out)
+	}
+	// The same request without dynamics carries no env effects.
+	req.Dynamics = nil
+	out, err = Execute(req)
+	if err != nil {
+		t.Fatalf("Execute baseline: %v", err)
+	}
+	if out.EnvActivations != 0 || out.EnvDeactivations != 0 || out.Crashes != 0 || out.Restarts != 0 {
+		t.Fatalf("baseline outcome carries env effects: %+v", out)
+	}
+}
+
+func TestExecuteRejectsDynamicsOnCentralized(t *testing.T) {
+	t.Parallel()
+	_, err := Execute(Request{
+		Algorithm: AlgoCentralized, Workload: "line", N: 8, Seed: 1,
+		Dynamics: &dynamics.Spec{Class: dynamics.ClassEdgeChurn},
+	})
+	if err == nil || !strings.Contains(err.Error(), "no simulation to perturb") {
+		t.Fatalf("centralized + dynamics accepted: %v", err)
+	}
+	spec := SweepSpec{
+		Algorithms: []string{AlgoCentralized}, Workloads: []string{"line"},
+		Sizes: []int{8}, Seeds: []int64{1},
+		Dynamics: &dynamics.Spec{Class: dynamics.ClassEdgeChurn},
+	}
+	if err := spec.Validate(); err == nil {
+		t.Fatalf("sweep centralized + dynamics accepted")
+	}
+	badDyn := SweepSpec{
+		Algorithms: []string{AlgoFlood}, Workloads: []string{"line"},
+		Sizes: []int{8}, Seeds: []int64{1},
+		Dynamics: &dynamics.Spec{Class: "meteor"},
+	}
+	if err := badDyn.Validate(); err == nil {
+		t.Fatalf("sweep with bad dynamics class accepted")
+	}
+}
+
+func TestSweepCellsCarryDynamics(t *testing.T) {
+	t.Parallel()
+	dyn := &dynamics.Spec{Class: dynamics.ClassCrash, Rate: 1, Down: 2}
+	spec := SweepSpec{
+		Algorithms: []string{AlgoFlood}, Workloads: []string{"line"},
+		Sizes: []int{8, 16}, Seeds: []int64{1, 2},
+		Dynamics: dyn,
+	}
+	cells := spec.Cells()
+	if len(cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.Dynamics == nil || c.Dynamics.Class != dynamics.ClassCrash {
+			t.Fatalf("cell %+v lost its dynamics spec", c)
+		}
+		if c.Request().Dynamics != c.Dynamics {
+			t.Fatalf("cell request does not forward the dynamics spec")
+		}
+	}
+}

@@ -34,18 +34,24 @@ func TestWorkloadsListBuildsConnectedGraphs(t *testing.T) {
 
 func TestWorkloadTinySizes(t *testing.T) {
 	t.Parallel()
-	// n ≤ 1 must not panic: generators degrade to empty or singleton
-	// graphs and RunAlgorithm rejects the empty ones.
+	// Every family rejects n < 2 uniformly at dispatch, before any
+	// generator runs, and accepts the minimum size n=2.
 	for _, name := range Workloads() {
-		for _, n := range []int{0, 1} {
-			g, err := Workload(name, n, 1)
-			if err != nil {
-				t.Errorf("%s n=%d: %v", name, n, err)
-				continue
+		for _, n := range []int{-1, 0, 1} {
+			if _, err := Workload(name, n, 1); err == nil {
+				t.Errorf("%s n=%d: accepted, want error", name, n)
 			}
-			if g.NumNodes() > 1 {
-				t.Errorf("%s n=%d: got %d nodes", name, n, g.NumNodes())
-			}
+		}
+		g, err := Workload(name, 2, 1)
+		if err != nil {
+			t.Errorf("%s n=2: %v", name, err)
+			continue
+		}
+		if g.NumNodes() != 2 {
+			t.Errorf("%s n=2: got %d nodes", name, g.NumNodes())
+		}
+		if !g.IsConnected() {
+			t.Errorf("%s n=2: disconnected", name)
 		}
 	}
 }

@@ -13,13 +13,17 @@ import (
 
 	"adnet/internal/baseline"
 	"adnet/internal/core"
+	"adnet/internal/dynamics"
 	"adnet/internal/graph"
 	"adnet/internal/sim"
 	"adnet/internal/tasks"
 )
 
 // Outcome is the unified measurement of one run, in the paper's cost
-// measures (§2.2).
+// measures (§2.2). The dynamics fields (environment edits and injected
+// faults) are zero — and omitted from the wire shape — for runs
+// without a dynamics environment, so pre-dynamics streams and caches
+// stay byte-identical.
 type Outcome struct {
 	N                  int
 	Rounds             int // rounds until every node halted
@@ -31,6 +35,10 @@ type Outcome struct {
 	FinalDiameter      int // diameter of the final active graph
 	FinalDepth         int // eccentricity of the elected leader
 	LeaderOK           bool
+	EnvActivations     int `json:"EnvActivations,omitempty"`   // edges the environment switched on
+	EnvDeactivations   int `json:"EnvDeactivations,omitempty"` // edges the environment cut
+	Crashes            int `json:"Crashes,omitempty"`          // node outages injected
+	Restarts           int `json:"Restarts,omitempty"`         // node restarts injected
 }
 
 // Algorithm names for RunAlgorithm.
@@ -56,6 +64,12 @@ type Request struct {
 	Workload  string
 	N         int
 	Seed      int64
+	// Dynamics, when non-nil, attaches the described adversarial
+	// environment (internal/dynamics) to the run: the network is
+	// perturbed between rounds and the outcome's Env*/Crashes/Restarts
+	// fields report the injected disruption. The centralized baseline
+	// runs no simulation and rejects dynamics.
+	Dynamics *dynamics.Spec
 	// SimOpts are appended after the algorithm's own defaults, so
 	// callers can override round limits or attach hooks. The
 	// centralized baseline runs no simulation and ignores them.
@@ -64,11 +78,37 @@ type Request struct {
 
 // Execute builds the workload and runs the algorithm on it.
 func Execute(req Request) (Outcome, error) {
+	env, err := applyDynamics(&req)
+	if err != nil {
+		return Outcome{}, err
+	}
 	g, err := Workload(req.Workload, req.N, req.Seed)
 	if err != nil {
 		return Outcome{}, err
 	}
-	return RunAlgorithmOpts(req.Algorithm, g, req.SimOpts...)
+	out, err := RunAlgorithmOpts(req.Algorithm, g, req.SimOpts...)
+	if err == nil && env != nil {
+		out.Crashes, out.Restarts = env.Counts()
+	}
+	return out, err
+}
+
+// applyDynamics builds the environment a request's dynamics block
+// names and appends it to the request's sim options. The returned Env
+// is nil when the request carries no dynamics.
+func applyDynamics(req *Request) (*dynamics.Env, error) {
+	if req.Dynamics == nil {
+		return nil, nil
+	}
+	if req.Algorithm == AlgoCentralized {
+		return nil, fmt.Errorf("expt: dynamics do not apply to %s (no simulation to perturb)", AlgoCentralized)
+	}
+	env, err := dynamics.New(*req.Dynamics, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	req.SimOpts = append(req.SimOpts, sim.WithEnvironment(env))
+	return env, nil
 }
 
 // Shared machine factories. The factories are stateless (all per-run
@@ -114,7 +154,7 @@ func runAlgorithm(eng *sim.Engine, sc *graph.BFSScratch, name string, gs *graph.
 		}
 	}
 	if !known {
-		return Outcome{}, fmt.Errorf("expt: unknown algorithm %q", name)
+		return Outcome{}, fmt.Errorf("expt: unknown algorithm %q (want one of %v)", name, Algorithms())
 	}
 	if gs == nil || gs.NumNodes() == 0 {
 		return Outcome{}, fmt.Errorf("expt: empty initial graph")
@@ -144,7 +184,7 @@ func runAlgorithm(eng *sim.Engine, sc *graph.BFSScratch, name string, gs *graph.
 	// optBuf keeps the option list off the heap: sim options are
 	// consumed inside Reset and never retained, so the backing array
 	// can live on this frame.
-	var optBuf [4]sim.Option
+	var optBuf [8]sim.Option
 	opts := optBuf[:0]
 	switch name {
 	case AlgoStar:
@@ -161,7 +201,7 @@ func runAlgorithm(eng *sim.Engine, sc *graph.BFSScratch, name string, gs *graph.
 	case AlgoFlood:
 		factory = floodFactory
 	default:
-		return Outcome{}, fmt.Errorf("expt: unknown algorithm %q", name)
+		return Outcome{}, fmt.Errorf("expt: unknown algorithm %q (want one of %v)", name, Algorithms())
 	}
 	opts = append(opts, extra...)
 	if err := eng.Reset(gs, factory, opts...); err != nil {
@@ -185,6 +225,8 @@ func runAlgorithm(eng *sim.Engine, sc *graph.BFSScratch, name string, gs *graph.
 		TotalMessages:      res.TotalMessages,
 		FinalDiameter:      sc.ApproxDiameter(final),
 		LeaderOK:           tasks.VerifyLeaderElection(res, umax) == nil,
+		EnvActivations:     res.Metrics.EnvActivations,
+		EnvDeactivations:   res.Metrics.EnvDeactivations,
 	}
 	if final.HasNode(umax) {
 		out.FinalDepth = sc.Eccentricity(final, umax)
@@ -195,7 +237,7 @@ func runAlgorithm(eng *sim.Engine, sc *graph.BFSScratch, name string, gs *graph.
 // Workloads lists every initial-network family name accepted by
 // Workload, aliases included.
 func Workloads() []string {
-	return []string{"line", "ring", "increasing-ring", "random-tree", "bounded-degree", "random", "star"}
+	return []string{"line", "ring", "increasing-ring", "random-tree", "bounded-degree", "random", "star", "power-law", "small-world"}
 }
 
 // Workload builds the named initial-network family at size n.
@@ -212,6 +254,14 @@ func Workload(name string, n int, seed int64) (*graph.Graph, error) {
 // generation only on growth; the generated graph is identical to
 // Workload's for equal parameters.
 func WorkloadInto(dst, scratch *graph.Graph, name string, n int, seed int64) (*graph.Graph, error) {
+	if !knownName(Workloads(), name) {
+		return nil, fmt.Errorf("expt: unknown workload %q (want one of %v)", name, Workloads())
+	}
+	// Every family needs at least two nodes; validating here, before
+	// dispatch, keeps the contract uniform instead of per-generator.
+	if n < 2 {
+		return nil, fmt.Errorf("expt: workload %q needs n >= 2, got %d", name, n)
+	}
 	// The deterministic families skip the rng so their cells allocate
 	// nothing per call.
 	switch name {
@@ -233,8 +283,16 @@ func WorkloadInto(dst, scratch *graph.Graph, name string, n int, seed int64) (*g
 			scratch = graph.New()
 		}
 		return graph.PermuteIDsInto(dst, graph.RandomConnectedInto(scratch, n, n, rng), rng), nil
+	case "power-law":
+		// Barabási–Albert preferential attachment, m=2 links per new
+		// node: heavy-tailed degrees, hubs for targeted-cut to attack.
+		return graph.PowerLawInto(dst, n, 2, rng), nil
+	case "small-world":
+		// Watts–Strogatz ring lattice (k=2 span) with 10% rewiring:
+		// high clustering, short paths.
+		return graph.SmallWorldInto(dst, n, 2, 0.1, rng), nil
 	default:
-		return nil, fmt.Errorf("expt: unknown workload %q", name)
+		return nil, fmt.Errorf("expt: unknown workload %q (want one of %v)", name, Workloads())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adnet/internal/dynamics"
 	"adnet/internal/graph"
 	"adnet/internal/sim"
 	"adnet/internal/temporal"
@@ -45,11 +46,19 @@ func (r *Runner) Close() { r.eng.Close() }
 // package-level Execute but reusing the Runner's engine and workload
 // arena.
 func (r *Runner) Execute(req Request) (Outcome, error) {
+	env, err := applyDynamics(&req)
+	if err != nil {
+		return Outcome{}, err
+	}
 	g, err := WorkloadInto(r.wg, r.wscratch, req.Workload, req.N, req.Seed)
 	if err != nil {
 		return Outcome{}, err
 	}
-	return r.RunAlgorithm(req.Algorithm, g, req.SimOpts...)
+	out, err := r.RunAlgorithm(req.Algorithm, g, req.SimOpts...)
+	if err == nil && env != nil {
+		out.Crashes, out.Restarts = env.Counts()
+	}
+	return out, err
 }
 
 // RunAlgorithm executes the named algorithm on gs through the
@@ -59,18 +68,22 @@ func (r *Runner) RunAlgorithm(name string, gs *graph.Graph, extra ...sim.Option)
 	return runAlgorithm(r.eng, &r.bfs, name, gs, extra...)
 }
 
-// Cell is one point of a sweep grid: a deterministic run request.
+// Cell is one point of a sweep grid: a deterministic run request. The
+// dynamics pointer, when set, is shared across a sweep's cells and
+// never mutated; it stays absent from the wire shape for sweeps
+// without dynamics.
 type Cell struct {
-	Algorithm string `json:"algorithm"`
-	Workload  string `json:"workload"`
-	N         int    `json:"n"`
-	Seed      int64  `json:"seed"`
-	MaxRounds int    `json:"max_rounds,omitempty"`
+	Algorithm string         `json:"algorithm"`
+	Workload  string         `json:"workload"`
+	N         int            `json:"n"`
+	Seed      int64          `json:"seed"`
+	MaxRounds int            `json:"max_rounds,omitempty"`
+	Dynamics  *dynamics.Spec `json:"dynamics,omitempty"`
 }
 
 // Request converts the cell to the spec-driven Request form.
 func (c Cell) Request() Request {
-	req := Request{Algorithm: c.Algorithm, Workload: c.Workload, N: c.N, Seed: c.Seed}
+	req := Request{Algorithm: c.Algorithm, Workload: c.Workload, N: c.N, Seed: c.Seed, Dynamics: c.Dynamics}
 	if c.MaxRounds > 0 {
 		req.SimOpts = append(req.SimOpts, sim.WithMaxRounds(c.MaxRounds))
 	}
@@ -79,15 +92,19 @@ func (c Cell) Request() Request {
 
 // SweepSpec describes a (algorithms × workloads × sizes × seeds)
 // grid. MaxRounds, when positive, overrides every cell's round limit.
-// Repeated values within a dimension are ignored (first occurrence
-// wins), so a grid never contains duplicate cells: NumCells, Cells
-// and Validate all see the deduplicated dimensions.
+// Dynamics, when non-nil, attaches the same adversarial environment
+// spec to every cell (each cell still derives its own perturbation
+// seed from its run seed). Repeated values within a dimension are
+// ignored (first occurrence wins), so a grid never contains duplicate
+// cells: NumCells, Cells and Validate all see the deduplicated
+// dimensions.
 type SweepSpec struct {
 	Algorithms []string
 	Workloads  []string
 	Sizes      []int
 	Seeds      []int64
 	MaxRounds  int
+	Dynamics   *dynamics.Spec
 }
 
 // normalized returns the spec with duplicate dimension values
@@ -99,6 +116,7 @@ func (s SweepSpec) normalized() SweepSpec {
 		Sizes:      dedup(s.Sizes),
 		Seeds:      dedup(s.Seeds),
 		MaxRounds:  s.MaxRounds,
+		Dynamics:   s.Dynamics,
 	}
 }
 
@@ -119,7 +137,8 @@ func (s SweepSpec) Cells() []Cell {
 			for _, n := range s.Sizes {
 				for _, seed := range s.Seeds {
 					cells = append(cells, Cell{
-						Algorithm: a, Workload: w, N: n, Seed: seed, MaxRounds: s.MaxRounds,
+						Algorithm: a, Workload: w, N: n, Seed: seed,
+						MaxRounds: s.MaxRounds, Dynamics: s.Dynamics,
 					})
 				}
 			}
@@ -150,12 +169,12 @@ func (s SweepSpec) Validate() error {
 	}
 	for _, a := range s.Algorithms {
 		if !knownName(Algorithms(), a) {
-			return fmt.Errorf("expt: unknown algorithm %q", a)
+			return fmt.Errorf("expt: unknown algorithm %q (want one of %v)", a, Algorithms())
 		}
 	}
 	for _, w := range s.Workloads {
 		if !knownName(Workloads(), w) {
-			return fmt.Errorf("expt: unknown workload %q", w)
+			return fmt.Errorf("expt: unknown workload %q (want one of %v)", w, Workloads())
 		}
 	}
 	for _, n := range s.Sizes {
@@ -165,6 +184,14 @@ func (s SweepSpec) Validate() error {
 	}
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("expt: max rounds must be non-negative, got %d", s.MaxRounds)
+	}
+	if s.Dynamics != nil {
+		if err := s.Dynamics.Validate(); err != nil {
+			return err
+		}
+		if knownName(s.Algorithms, AlgoCentralized) {
+			return fmt.Errorf("expt: dynamics do not apply to %s (no simulation to perturb)", AlgoCentralized)
+		}
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"adnet/internal/dynamics"
 	"adnet/internal/expt"
 	"adnet/internal/obs"
 )
@@ -43,11 +44,12 @@ type shardSummary struct {
 // sweepSpecWire is the POST /v1/sweeps request body (the service's
 // SweepSpec wire shape, written from the client side).
 type sweepSpecWire struct {
-	Algorithms []string `json:"algorithms"`
-	Workloads  []string `json:"workloads"`
-	Sizes      []int    `json:"sizes"`
-	Seeds      []int64  `json:"seeds"`
-	MaxRounds  int      `json:"max_rounds,omitempty"`
+	Algorithms []string       `json:"algorithms"`
+	Workloads  []string       `json:"workloads"`
+	Sizes      []int          `json:"sizes"`
+	Seeds      []int64        `json:"seeds"`
+	MaxRounds  int            `json:"max_rounds,omitempty"`
+	Dynamics   *dynamics.Spec `json:"dynamics,omitempty"`
 }
 
 // errWorkerBusy marks a dispatch rejected by the worker's sweep gate
@@ -241,6 +243,7 @@ func (c *Coordinator) postSweep(ctx context.Context, w *worker, spec expt.SweepS
 		Sizes:      spec.Sizes,
 		Seeds:      spec.Seeds,
 		MaxRounds:  spec.MaxRounds,
+		Dynamics:   spec.Dynamics,
 	})
 	if err != nil {
 		return "", err

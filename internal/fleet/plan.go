@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"adnet/internal/dynamics"
 	"adnet/internal/expt"
 	"adnet/internal/runkey"
 )
@@ -36,9 +37,20 @@ func (s Shard) NumCells() int { return s.Spec.NumCells() }
 // row, in runkey order. The plan is a pure function of the spec —
 // every coordinator (and every retry) produces the same shards with
 // the same keys.
+// dynKey renders a dynamics spec's canonical key, "" when absent, so
+// dynamics-free shard keys stay byte-identical to their pre-dynamics
+// form.
+func dynKey(d *dynamics.Spec) string {
+	if d == nil {
+		return ""
+	}
+	return d.Key()
+}
+
 func PlanShards(spec expt.SweepSpec) []Shard {
 	cells := spec.Cells()
-	sweepKey := runkey.SweepKey(spec.Algorithms, spec.Workloads, spec.Sizes, spec.Seeds, spec.MaxRounds)
+	sweepKey := runkey.WithDynamics(
+		runkey.SweepKey(spec.Algorithms, spec.Workloads, spec.Sizes, spec.Seeds, spec.MaxRounds), dynKey(spec.Dynamics))
 	var shards []Shard
 	for start := 0; start < len(cells); {
 		c := cells[start]
@@ -62,6 +74,7 @@ func PlanShards(spec expt.SweepSpec) []Shard {
 				Sizes:      []int{c.N},
 				Seeds:      seeds,
 				MaxRounds:  spec.MaxRounds,
+				Dynamics:   spec.Dynamics,
 			},
 		})
 		start = end

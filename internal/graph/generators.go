@@ -252,6 +252,124 @@ func RandomBoundedDegreeInto(g *Graph, n, maxDeg, extra int, rng *rand.Rand) (*G
 	return g, nil
 }
 
+// PowerLaw returns a Barabási–Albert preferential-attachment graph on
+// IDs 0..n-1: a connected seed line on m+1 nodes, then each new node
+// attaches m edges whose targets are drawn proportionally to current
+// degree. The resulting degree distribution is heavy-tailed — the hub
+// structure the paper's star/wreath constructions are sensitive to.
+func PowerLaw(n, m int, rng *rand.Rand) *Graph { return PowerLawInto(New(), n, m, rng) }
+
+// PowerLawInto builds PowerLaw(n, m, rng) into g, resetting it first,
+// with the same random sequence as PowerLaw.
+func PowerLawInto(g *Graph, n, m int, rng *rand.Rand) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	g.Reset()
+	for i := 0; i < n; i++ {
+		g.AddNode(ID(i))
+	}
+	if n <= 1 {
+		return g
+	}
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	for i := 0; i+1 < seed; i++ {
+		g.MustAddEdge(ID(i), ID(i+1))
+	}
+	// Preferential attachment via the repeated-endpoints list: every
+	// committed edge contributes both endpoints, so a uniform draw from
+	// the list is a degree-proportional draw from the nodes.
+	targets := make([]int32, 0, 2*(seed-1)+2*m*(n-seed))
+	for i := 0; i+1 < seed; i++ {
+		targets = append(targets, int32(i), int32(i+1))
+	}
+	for v := seed; v < n; v++ {
+		added := 0
+		for tries := 0; added < m && tries < 50*m+50; tries++ {
+			t := targets[rng.Intn(len(targets))]
+			u := ID(t)
+			if int(u) == v || g.HasEdge(u, ID(v)) {
+				continue
+			}
+			g.MustAddEdge(u, ID(v))
+			targets = append(targets, t, int32(v))
+			added++
+		}
+		if added == 0 {
+			// Degenerate rng streak: fall back to the previous node so
+			// the graph stays connected.
+			g.MustAddEdge(ID(v-1), ID(v))
+			targets = append(targets, int32(v-1), int32(v))
+		}
+	}
+	return g
+}
+
+// SmallWorld returns a Watts–Strogatz small-world graph on IDs 0..n-1:
+// a ring lattice where each node links to its k nearest clockwise
+// neighbors, with every lattice edge of span >= 2 rewired to a uniform
+// random endpoint with probability p. The span-1 ring is never rewired,
+// so the graph stays connected for every p — the variant that keeps
+// the family usable as a sim workload (the engine requires connected
+// initial graphs).
+func SmallWorld(n, k int, p float64, rng *rand.Rand) *Graph {
+	return SmallWorldInto(New(), n, k, p, rng)
+}
+
+// SmallWorldInto builds SmallWorld(n, k, p, rng) into g, resetting it
+// first, with the same random sequence as SmallWorld.
+func SmallWorldInto(g *Graph, n, k int, p float64, rng *rand.Rand) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	g.Reset()
+	for i := 0; i < n; i++ {
+		g.AddNode(ID(i))
+	}
+	if n <= 1 {
+		return g
+	}
+	// Span-1 ring backbone (a line edge for n == 2).
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if !g.HasEdge(ID(i), ID(j)) {
+			g.MustAddEdge(ID(i), ID(j))
+		}
+	}
+	for d := 2; d <= k && 2*d <= n; d++ {
+		for i := 0; i < n; i++ {
+			u, v := ID(i), ID((i+d)%n)
+			if rng.Float64() < p {
+				if w, ok := rewireTarget(g, u, rng, n); ok {
+					g.MustAddEdge(u, w)
+					continue
+				}
+			}
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// rewireTarget draws a uniform random non-neighbor of u, giving up
+// (and reporting !ok, so the caller keeps the lattice edge) after a
+// bounded number of rejections.
+func rewireTarget(g *Graph, u ID, rng *rand.Rand, n int) (ID, bool) {
+	for tries := 0; tries < 32; tries++ {
+		w := ID(rng.Intn(n))
+		if w == u || g.HasEdge(u, w) {
+			continue
+		}
+		return w, true
+	}
+	return 0, false
+}
+
 // PermuteIDs returns a copy of g whose IDs are relabelled by a random
 // permutation of 0..n-1 drawn from rng. Structural properties are
 // preserved while UID placement — which comparison-based algorithms are

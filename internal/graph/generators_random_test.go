@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPowerLawShape(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{2, 3, 8, 33, 100} {
+		g := PowerLaw(n, 2, rand.New(rand.NewSource(7)))
+		if g.NumNodes() != n {
+			t.Errorf("PowerLaw(%d): %d nodes", n, g.NumNodes())
+		}
+		if !g.IsConnected() {
+			t.Errorf("PowerLaw(%d): not connected", n)
+		}
+		// Connected, so at least a spanning tree's worth of edges.
+		if g.NumEdges() < n-1 {
+			t.Errorf("PowerLaw(%d): %d edges < n-1", n, g.NumEdges())
+		}
+	}
+}
+
+func TestPowerLawHeavyTail(t *testing.T) {
+	t.Parallel()
+	// Preferential attachment should grow hubs: the max degree on a
+	// decently sized instance must clearly exceed the attachment
+	// parameter m (a uniform random graph with the same edge count
+	// concentrates near 2m).
+	g := PowerLaw(200, 2, rand.New(rand.NewSource(3)))
+	if g.MaxDegree() < 8 {
+		t.Errorf("PowerLaw(200, 2): MaxDegree = %d, want a hub (>= 8)", g.MaxDegree())
+	}
+}
+
+func TestSmallWorldShape(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{2, 3, 8, 33, 100} {
+		for _, p := range []float64{0, 0.1, 1} {
+			g := SmallWorld(n, 2, p, rand.New(rand.NewSource(7)))
+			if g.NumNodes() != n {
+				t.Errorf("SmallWorld(%d, p=%v): %d nodes", n, p, g.NumNodes())
+			}
+			// The span-1 ring is never rewired, so every p stays
+			// connected.
+			if !g.IsConnected() {
+				t.Errorf("SmallWorld(%d, p=%v): not connected", n, p)
+			}
+		}
+	}
+}
+
+func TestSmallWorldLatticeAtPZero(t *testing.T) {
+	t.Parallel()
+	// p=0 is the pure ring lattice: each node linked to its k nearest
+	// clockwise neighbors, so n*k edges (minus collisions on tiny n).
+	g := SmallWorld(20, 2, 0, rand.New(rand.NewSource(1)))
+	if g.NumEdges() != 40 {
+		t.Errorf("SmallWorld(20, 2, 0): %d edges, want 40", g.NumEdges())
+	}
+	for _, u := range g.Nodes() {
+		if g.Degree(u) != 4 {
+			t.Errorf("SmallWorld(20, 2, 0): Degree(%d) = %d, want 4", u, g.Degree(u))
+		}
+	}
+}
+
+func TestRandomGeneratorsDeterministic(t *testing.T) {
+	t.Parallel()
+	a := PowerLaw(64, 3, rand.New(rand.NewSource(42)))
+	b := PowerLaw(64, 3, rand.New(rand.NewSource(42)))
+	equalGraphs(t, a, b, "PowerLaw same seed")
+	c := SmallWorld(64, 2, 0.2, rand.New(rand.NewSource(42)))
+	d := SmallWorld(64, 2, 0.2, rand.New(rand.NewSource(42)))
+	equalGraphs(t, c, d, "SmallWorld same seed")
+}
+
+func TestRandomGeneratorsInto(t *testing.T) {
+	t.Parallel()
+	// Dirty the arena first so Reset coverage is real.
+	g := Complete(9)
+	equalGraphs(t, PowerLaw(40, 2, rand.New(rand.NewSource(5))),
+		PowerLawInto(g, 40, 2, rand.New(rand.NewSource(5))), "PowerLawInto")
+	equalGraphs(t, SmallWorld(40, 2, 0.3, rand.New(rand.NewSource(5))),
+		SmallWorldInto(g, 40, 2, 0.3, rand.New(rand.NewSource(5))), "SmallWorldInto")
+}

@@ -72,3 +72,14 @@ func SweepKey(algorithms, workloads []string, sizes []int, seeds []int64, maxRou
 	fmt.Fprintf(&b, "|maxr=%d", maxRounds)
 	return b.String()
 }
+
+// WithDynamics extends a run or sweep key with a dynamics-environment
+// key (dynamics.Spec.Key). An empty dyn returns the key unchanged, so
+// every pre-dynamics key — cached results, journal names, job IDs —
+// stays byte-identical.
+func WithDynamics(key, dyn string) string {
+	if dyn == "" {
+		return key
+	}
+	return key + "|dyn=" + dyn
+}

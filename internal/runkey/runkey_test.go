@@ -55,3 +55,21 @@ func TestShortHashStable(t *testing.T) {
 		t.Fatal("distinct keys share a short hash (astronomically unlikely)")
 	}
 }
+
+func TestWithDynamics(t *testing.T) {
+	t.Parallel()
+	base := Key("flood", "line", 16, 1, 0)
+	// No dynamics: the key is byte-identical to the pre-dynamics
+	// format, so existing caches and journals stay valid.
+	if got := WithDynamics(base, ""); got != base {
+		t.Fatalf("WithDynamics(base, \"\") = %q, want %q", got, base)
+	}
+	got := WithDynamics(base, "edge-churn,k=1,preserve=false,seed=0")
+	want := base + "|dyn=edge-churn,k=1,preserve=false,seed=0"
+	if got != want {
+		t.Fatalf("WithDynamics = %q, want %q", got, want)
+	}
+	if WithDynamics(base, "crash,k=1,down=3,mode=sleep,seed=0") == got {
+		t.Fatalf("different dynamics keys collide")
+	}
+}

@@ -641,8 +641,12 @@ func (m *Manager) execute(j *Job) {
 		Workload:  j.Spec.Workload,
 		N:         j.Spec.N,
 		Seed:      j.Spec.Seed,
+		Dynamics:  j.Spec.Dynamics,
 		SimOpts:   opts,
 	})
+	if err == nil && j.Spec.Dynamics != nil {
+		m.metrics.observeDynamics(out)
+	}
 
 	j.mu.Lock()
 	switch {

@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"time"
 
+	"adnet/internal/expt"
 	"adnet/internal/obs"
 	"adnet/internal/sim"
 )
@@ -33,6 +34,15 @@ type metrics struct {
 	// gridUtilization is busy-time / (workers × wall-clock) of one
 	// locally executed grid — how well the engine fleet was kept fed.
 	gridUtilization *obs.Histogram
+
+	// Dynamics environments: runs executed under an adversarial
+	// environment and the disruption they absorbed, folded once per
+	// finished run/cell from the outcome — never from the round loop.
+	dynRuns             *obs.Counter
+	dynEnvActivations   *obs.Counter
+	dynEnvDeactivations *obs.Counter
+	dynCrashes          *obs.Counter
+	dynRestarts         *obs.Counter
 
 	// Engine digests, folded once per run by the run observer; the
 	// round hot loop is never touched.
@@ -107,6 +117,16 @@ func newMetrics(reg *obs.Registry, logger *slog.Logger) *metrics {
 		gridUtilization: reg.Histogram("adnet_sweep_grid_utilization_ratio",
 			"Per-grid engine-fleet utilization: total cell busy time over workers times wall-clock.",
 			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}),
+		dynRuns: reg.Counter("adnet_dynamics_runs_total",
+			"Runs executed under an adversarial dynamics environment (runs and sweep cells with a dynamics spec)."),
+		dynEnvActivations: reg.Counter("adnet_dynamics_env_activations_total",
+			"Edges activated by dynamics environments, summed over finished runs."),
+		dynEnvDeactivations: reg.Counter("adnet_dynamics_env_deactivations_total",
+			"Edges cut by dynamics environments, summed over finished runs."),
+		dynCrashes: reg.Counter("adnet_dynamics_crashes_total",
+			"Node crashes injected by dynamics environments, summed over finished runs."),
+		dynRestarts: reg.Counter("adnet_dynamics_restarts_total",
+			"Node restarts injected by dynamics environments, summed over finished runs."),
 		engineRuns: reg.Counter("adnet_engine_runs_total",
 			"Simulations executed to completion or failure."),
 		engineRounds: reg.Histogram("adnet_engine_rounds_per_run",
@@ -258,6 +278,15 @@ func (mt *metrics) observeRun(s sim.RunSummary) {
 	if eff := s.ParallelEfficiency(); eff > 0 {
 		mt.engineEfficiency.Observe(eff)
 	}
+}
+
+// observeDynamics folds one finished dynamics run's disruption totals.
+func (mt *metrics) observeDynamics(out expt.Outcome) {
+	mt.dynRuns.Inc()
+	mt.dynEnvActivations.Add(int64(out.EnvActivations))
+	mt.dynEnvDeactivations.Add(int64(out.EnvDeactivations))
+	mt.dynCrashes.Add(int64(out.Crashes))
+	mt.dynRestarts.Add(int64(out.Restarts))
 }
 
 // observeCell counts a finished cell and folds its cost in.

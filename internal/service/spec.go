@@ -10,6 +10,7 @@ package service
 import (
 	"fmt"
 
+	"adnet/internal/dynamics"
 	"adnet/internal/expt"
 	"adnet/internal/runkey"
 )
@@ -31,6 +32,10 @@ type RunSpec struct {
 	// positive. It is part of the cache key: a tighter limit can turn
 	// a completing run into a round-limit failure.
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Dynamics, when present, attaches an adversarial environment
+	// (internal/dynamics) to the run. Its canonical key joins the
+	// cache key, so perturbed runs never collide with clean ones.
+	Dynamics *dynamics.Spec `json:"dynamics,omitempty"`
 }
 
 // Validate checks the spec against the known algorithm and workload
@@ -54,6 +59,14 @@ func (s RunSpec) Validate(maxN int) error {
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("max_rounds must be non-negative, got %d", s.MaxRounds)
 	}
+	if s.Dynamics != nil {
+		if err := s.Dynamics.Validate(); err != nil {
+			return err
+		}
+		if s.Algorithm == expt.AlgoCentralized {
+			return fmt.Errorf("dynamics do not apply to %s (no simulation to perturb)", expt.AlgoCentralized)
+		}
+	}
 	return nil
 }
 
@@ -62,7 +75,8 @@ func (s RunSpec) Validate(maxN int) error {
 // produce the same keys (see cellKey), so a sweep and an individual
 // run share cache entries.
 func (s RunSpec) Key() string {
-	return runkey.Key(s.Algorithm, s.Workload, s.N, s.Seed, s.MaxRounds)
+	return runkey.WithDynamics(
+		runkey.Key(s.Algorithm, s.Workload, s.N, s.Seed, s.MaxRounds), dynKey(s.Dynamics))
 }
 
 // keyHash is a short stable digest of the cache key, used in job IDs.
@@ -73,7 +87,18 @@ func (s RunSpec) keyHash() string {
 // cellKey is the canonical key of a sweep grid cell — by construction
 // identical to the RunSpec key for the same parameters.
 func cellKey(c expt.Cell) string {
-	return runkey.Key(c.Algorithm, c.Workload, c.N, c.Seed, c.MaxRounds)
+	return runkey.WithDynamics(
+		runkey.Key(c.Algorithm, c.Workload, c.N, c.Seed, c.MaxRounds), dynKey(c.Dynamics))
+}
+
+// dynKey renders a dynamics spec's canonical key, "" when absent —
+// which is what keeps every dynamics-free key byte-identical to its
+// pre-dynamics form.
+func dynKey(d *dynamics.Spec) string {
+	if d == nil {
+		return ""
+	}
+	return d.Key()
 }
 
 // SweepSpec is the JSON-facing description of a sweep grid: the
@@ -85,6 +110,9 @@ type SweepSpec struct {
 	Sizes      []int    `json:"sizes"`
 	Seeds      []int64  `json:"seeds"`
 	MaxRounds  int      `json:"max_rounds,omitempty"`
+	// Dynamics, when present, attaches the same adversarial
+	// environment spec to every cell of the grid.
+	Dynamics *dynamics.Spec `json:"dynamics,omitempty"`
 }
 
 // Expt converts the spec to the harness-level grid.
@@ -95,13 +123,15 @@ func (s SweepSpec) Expt() expt.SweepSpec {
 		Sizes:      s.Sizes,
 		Seeds:      s.Seeds,
 		MaxRounds:  s.MaxRounds,
+		Dynamics:   s.Dynamics,
 	}
 }
 
 // Key is the canonical runkey rendering of the grid, hashed into
 // sweep job IDs.
 func (s SweepSpec) Key() string {
-	return runkey.SweepKey(s.Algorithms, s.Workloads, s.Sizes, s.Seeds, s.MaxRounds)
+	return runkey.WithDynamics(
+		runkey.SweepKey(s.Algorithms, s.Workloads, s.Sizes, s.Seeds, s.MaxRounds), dynKey(s.Dynamics))
 }
 
 // Validate checks names, sizes against maxN (0 means DefaultMaxN) and

@@ -484,6 +484,9 @@ func (m *Manager) runGrid(ctx context.Context, j *SweepJob, emit func(SweepCell)
 				sum.Replayed++
 			}
 			m.metrics.observeCell(cr.Ran, cr.FromCache, cr.Err != nil, cr.Duration.Seconds())
+			if cr.Cell.Dynamics != nil && cr.Err == nil {
+				m.metrics.observeDynamics(cr.Outcome)
+			}
 			cell := SweepCell{
 				Index:     cr.Index,
 				Algorithm: cr.Cell.Algorithm,

@@ -28,6 +28,13 @@ type TopologyFrame struct {
 	// Delta fields (Round >= 1).
 	Activate   []int32 `json:"activate,omitempty"`
 	Deactivate []int32 `json:"deactivate,omitempty"`
+	// Environment delta fields: edits the dynamics environment (not
+	// the algorithm) committed after the round's own reconfiguration.
+	// Always empty — and absent from the wire — for runs without a
+	// dynamics spec, so those streams are byte-identical to the
+	// pre-dynamics format.
+	EnvActivate   []int32 `json:"env_activate,omitempty"`
+	EnvDeactivate []int32 `json:"env_deactivate,omitempty"`
 }
 
 // packedTopologyFrame is the format=packed rendering of the same
@@ -42,7 +49,11 @@ type packedTopologyFrame struct {
 
 // packedFrame is the frame encoder of the packed topology stream. The
 // header packs its initial edge list; delta frames pack activations
-// then deactivations (each length-prefixed).
+// then deactivations (each length-prefixed), and — only when a
+// dynamics environment edited anything this round — the environment's
+// activations and deactivations as a third and fourth list. Decoders
+// detect the extension by the remaining bytes, and dynamics-free
+// streams stay byte-identical to the two-list format.
 func packedFrame(f TopologyFrame) []byte {
 	var buf []byte
 	if f.Round == 0 {
@@ -50,6 +61,10 @@ func packedFrame(f TopologyFrame) []byte {
 	} else {
 		buf = packPairs(nil, f.Activate)
 		buf = packPairs(buf, f.Deactivate)
+		if len(f.EnvActivate) > 0 || len(f.EnvDeactivate) > 0 {
+			buf = packPairs(buf, f.EnvActivate)
+			buf = packPairs(buf, f.EnvDeactivate)
+		}
 	}
 	return jsonFrame(packedTopologyFrame{
 		Round: f.Round,
@@ -162,11 +177,18 @@ func (ts *TopologyStream) publishHeader(n int, edges []int32) {
 // reconfiguration still emit a frame: the stream is the round clock,
 // and an empty delta is two bytes of payload.
 func (ts *TopologyStream) publishDelta(d temporal.RoundDelta) {
-	ts.publish(TopologyFrame{
+	f := TopologyFrame{
 		Round:      d.Round,
 		Activate:   append([]int32(nil), d.Activate...),
 		Deactivate: append([]int32(nil), d.Deactivate...),
-	})
+	}
+	if len(d.EnvActivate) > 0 {
+		f.EnvActivate = append([]int32(nil), d.EnvActivate...)
+	}
+	if len(d.EnvDeactivate) > 0 {
+		f.EnvDeactivate = append([]int32(nil), d.EnvDeactivate...)
+	}
+	ts.publish(f)
 }
 
 func (ts *TopologyStream) close() {

@@ -13,6 +13,7 @@ import (
 
 	"adnet/internal/baseline"
 	"adnet/internal/core"
+	"adnet/internal/dynamics"
 	"adnet/internal/expt"
 	"adnet/internal/graph"
 	"adnet/internal/sim"
@@ -140,6 +141,7 @@ func replayTopologyJSON(t *testing.T, s *stream[TopologyFrame], wantN int) edgeS
 				continue
 			}
 			es.apply(t, f.Round, f.Activate, f.Deactivate)
+			es.apply(t, f.Round, f.EnvActivate, f.EnvDeactivate)
 		}
 		cursor += len(batch)
 	}
@@ -184,10 +186,23 @@ func replayTopologyPacked(t *testing.T, s *stream[TopologyFrame], wantN int) edg
 				t.Fatalf("round %d: activate unpack: %v", f.Round, err)
 			}
 			deact, rest, err := unpackPairs(rest)
-			if err != nil || len(rest) != 0 {
-				t.Fatalf("round %d: deactivate unpack: %v (rest=%d)", f.Round, err, len(rest))
+			if err != nil {
+				t.Fatalf("round %d: deactivate unpack: %v", f.Round, err)
 			}
 			es.apply(t, f.Round, act, deact)
+			// Bytes past the two algorithm lists are the environment
+			// extension: env activations then env deactivations.
+			if len(rest) > 0 {
+				envAct, envRest, err := unpackPairs(rest)
+				if err != nil {
+					t.Fatalf("round %d: env activate unpack: %v", f.Round, err)
+				}
+				envDeact, envRest, err := unpackPairs(envRest)
+				if err != nil || len(envRest) != 0 {
+					t.Fatalf("round %d: env deactivate unpack: %v (rest=%d)", f.Round, err, len(envRest))
+				}
+				es.apply(t, f.Round, envAct, envDeact)
+			}
 		}
 		cursor += len(batch)
 	}
@@ -252,6 +267,81 @@ func TestTopologyDeltaReconstruction(t *testing.T) {
 					for i := range want {
 						if got[i] != want[i] {
 							t.Fatalf("%s replay: edge[%d] = %v, want %v", name, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTopologyDeltaReconstructionWithEnv extends the differential test
+// to perturbed runs: with a dynamics environment attached, the frames
+// carry the environment's edits as a distinct tagged delta source, and
+// replaying all four lists (algorithm + environment) — in both wire
+// formats — must still reconstruct exactly the final graph. The
+// paper's constructions may honestly fail under perturbation
+// (round-limit or contained panic); the stream up to the abort must
+// replay exactly regardless.
+func TestTopologyDeltaReconstructionWithEnv(t *testing.T) {
+	t.Parallel()
+	const n = 48
+	specs := []dynamics.Spec{
+		{Class: dynamics.ClassEdgeChurn, Rate: 2},
+		{Class: dynamics.ClassEdgeChurn, Rate: 2, Preserve: true},
+		{Class: dynamics.ClassBurst, Quiet: 3, Storm: 2},
+		{Class: dynamics.ClassCrash, Rate: 2, Down: 2},
+	}
+	factories := map[string]sim.Factory{
+		expt.AlgoStar:  core.NewGraphToStarFactory(),
+		expt.AlgoFlood: baseline.NewFloodFactory(),
+	}
+	for name, factory := range factories {
+		for _, spec := range specs {
+			t.Run(fmt.Sprintf("%s/%s", name, spec.Class), func(t *testing.T) {
+				t.Parallel()
+				g, err := expt.Workload("random-tree", n, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				env, err := dynamics.New(spec, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ts := newTopologyStream(0, nil, nil)
+				res, runErr := sim.Run(g, factory,
+					sim.WithStartHook(func(ev sim.StartEvent) { ts.publishHeader(ev.N, ev.Edges) }),
+					sim.WithDeltaHook(ts.publishDelta),
+					sim.WithEnvironment(env),
+					sim.WithMaxRounds(200))
+				ts.close()
+				if res == nil {
+					t.Fatalf("run returned no result (err=%v)", runErr)
+				}
+
+				frames := ts.Frames()
+				if len(frames) == 0 || frames[0].Round != 0 {
+					t.Fatal("stream must start with the round-0 header")
+				}
+				envEdits := 0
+				for _, f := range frames {
+					envEdits += len(f.EnvActivate) + len(f.EnvDeactivate)
+				}
+				if spec.Class != dynamics.ClassCrash && envEdits == 0 {
+					t.Errorf("%s stream carries no environment edits", spec.Class)
+				}
+
+				want := finalSlotPairs(res.History.CurrentView())
+				for kind, got := range map[string][][2]int32{
+					"json":   replayTopologyJSON(t, &ts.json, n).sorted(),
+					"packed": replayTopologyPacked(t, &ts.packed, n).sorted(),
+				} {
+					if len(got) != len(want) {
+						t.Fatalf("%s replay: %d edges, want %d (run err=%v)", kind, len(got), len(want), runErr)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s replay: edge[%d] = %v, want %v", kind, i, got[i], want[i])
 						}
 					}
 				}

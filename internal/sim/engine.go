@@ -90,6 +90,15 @@ type Engine struct {
 	lastRecycle string
 	lastN       int
 
+	// Environment state (WithEnvironment): the retained factory rebuilds
+	// machines on reboot-restarts, crashed marks down slots, and
+	// downCount gates every crash check so the env-absent hot loop pays
+	// one integer compare. envEdits is the reused Perturb scratch.
+	factory   Factory
+	crashed   []bool
+	downCount int
+	envEdits  EnvEdits
+
 	n        int
 	ready    bool // a successful Reset has not yet been consumed by Run
 	runStart time.Time
@@ -102,15 +111,23 @@ func NewEngine() *Engine {
 	e.sendFn = func(_, i int) {
 		ctx := e.ctxs[i]
 		ctx.beginRound(e.curRound)
-		if ctx.halted {
+		if ctx.halted || (e.downCount > 0 && e.crashed[i]) {
+			return
+		}
+		if e.cfg.env != nil {
+			e.protect(ctx, i, func() { e.machines[i].Send(ctx) })
 			return
 		}
 		e.machines[i].Send(ctx)
 	}
 	e.recvFn = func(w, i int) {
 		ctx := e.ctxs[i]
-		if !ctx.halted {
-			e.machines[i].Receive(ctx, e.inboxes[i])
+		if !ctx.halted && !(e.downCount > 0 && e.crashed[i]) {
+			if e.cfg.env != nil {
+				e.protect(ctx, i, func() { e.machines[i].Receive(ctx, e.inboxes[i]) })
+			} else {
+				e.machines[i].Receive(ctx, e.inboxes[i])
+			}
 		}
 		if len(ctx.acts) > 0 {
 			e.wacts[w] = append(e.wacts[w], ctx.acts...)
@@ -254,6 +271,21 @@ func (e *Engine) Reset(gs *graph.Graph, factory Factory, opts ...Option) error {
 		}
 		e.pool.setRanges(n)
 	}
+	e.factory = factory
+	e.downCount = 0
+	if cfg.env != nil {
+		// Crash tracking and the relaxed delivery/validation semantics
+		// exist only on the environment path; without an environment the
+		// round loop is byte-for-byte the strict, zero-alloc one.
+		if cap(e.crashed) < n {
+			e.crashed = make([]bool, n)
+		} else {
+			e.crashed = e.crashed[:n]
+			clear(e.crashed)
+		}
+		e.hist.SetLenientActivation(true)
+		cfg.env.Begin(n)
+	}
 	e.lastRecycle = cfg.recycle
 	e.lastN = n
 	e.ready = true
@@ -321,8 +353,14 @@ func (e *Engine) Run() (*Result, error) {
 		for i := range ctxs {
 			for _, om := range ctxs[i].outbox {
 				if om.slot < 0 || !hist.ActiveSlots(i, int(om.slot)) {
+					if cfg.env != nil {
+						continue // the environment cut the edge: message lost
+					}
 					return e.finish(round, totalMsgs, maxMsgs),
 						fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", round, om.m.From, om.m.To)
+				}
+				if e.downCount > 0 && e.crashed[om.slot] {
+					continue // crashed destination drops its inbox
 				}
 				inboxes[om.slot] = append(inboxes[om.slot], om.m)
 				roundMsgs++
@@ -368,6 +406,22 @@ func (e *Engine) Run() (*Result, error) {
 		if err != nil {
 			return e.finish(round, totalMsgs, maxMsgs), err
 		}
+		if cfg.env != nil {
+			// Environment boundary: perturbation runs on the round
+			// driver after the algorithm's intents committed, so it is
+			// deterministic regardless of worker count. Perturb runs
+			// every round (with possibly empty output) to keep the
+			// History's environment bookkeeping round-aligned.
+			e.envEdits.Reset()
+			cfg.env.Perturb(round, hist, &e.envEdits)
+			stats, err = hist.ApplyEnvironment(e.envEdits.Activate, e.envEdits.Deactivate)
+			if err != nil {
+				return e.finish(round, totalMsgs, maxMsgs), err
+			}
+			if err := e.applyFaults(round); err != nil {
+				return e.finish(round, totalMsgs, maxMsgs), err
+			}
+		}
 		if cfg.checkConnect && !hist.CurrentIsConnected(&e.bfs) {
 			return e.finish(round, totalMsgs, maxMsgs),
 				fmt.Errorf("%w after round %d", ErrDisconnected, round)
@@ -395,6 +449,69 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	return e.finish(cfg.maxRounds, totalMsgs, maxMsgs),
 		fmt.Errorf("%w (limit %d)", ErrRoundLimit, cfg.maxRounds)
+}
+
+// applyFaults commits the environment's crash/restart edits collected
+// by the last Perturb. Restarts are processed first so a schedule may
+// restart and re-crash a slot across consecutive boundaries without
+// ordering surprises; out-of-range slots, crashes of already-down
+// slots and restarts of up slots are ignored. A reboot-restart rebuilds
+// the machine from the run's factory and re-runs Init (the node comes
+// back blank, as after a power cycle); a sleep-restart resumes the
+// machine with its state intact.
+func (e *Engine) applyFaults(round int) error {
+	n := e.n
+	for _, s := range e.envEdits.Restart {
+		i := int(s)
+		if i < 0 || i >= n || !e.crashed[i] {
+			continue
+		}
+		e.crashed[i] = false
+		e.downCount--
+		if e.envEdits.Reboot {
+			ctx := e.ctxs[i]
+			env := Env{N: n}
+			ctx.reset(e.ids[i], i, e.hist, env)
+			m := e.factory(e.ids[i], env)
+			if m == nil {
+				return fmt.Errorf("sim: round %d: factory returned nil machine rebooting node %d", round, e.ids[i])
+			}
+			e.machines[i] = m
+			e.protect(ctx, i, func() { m.Init(ctx) })
+			if ctx.err != nil {
+				return ctx.err
+			}
+		}
+	}
+	for _, s := range e.envEdits.Crash {
+		i := int(s)
+		if i < 0 || i >= n || e.crashed[i] {
+			continue
+		}
+		e.crashed[i] = true
+		e.downCount++
+		// Drop the inbox the slot had accumulated: a crashed node loses
+		// in-flight state, so nothing delivered before the crash
+		// survives to its restart round.
+		e.inboxes[i] = e.inboxes[i][:0]
+	}
+	return nil
+}
+
+// protect runs one machine step under a recover, converting a panic
+// into that slot's run error. Machines are written against the paper's
+// model, where only the algorithm edits edges; an adversarial
+// environment can break their internal invariants mid-run, and that
+// must fail the run (honest robustness data) rather than kill the
+// process. Environment runs only — the strict path stays defer-free.
+func (e *Engine) protect(ctx *Context, i int, step func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			ctx.err = fmt.Errorf("sim: round %d: node %d panicked under environment perturbation: %v",
+				e.curRound, ctx.id, r)
+		}
+	}()
+	step()
 }
 
 // ctxErr returns the first per-context error recorded this phase.

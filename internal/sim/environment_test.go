@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"adnet/internal/graph"
+	"adnet/internal/temporal"
+)
+
+// scriptEnv replays a fixed per-round script of environment edits.
+type scriptEnv struct {
+	steps map[int]func(edits *EnvEdits)
+}
+
+func (s *scriptEnv) Begin(n int) {}
+
+func (s *scriptEnv) Perturb(round int, hist *temporal.History, edits *EnvEdits) {
+	if f, ok := s.steps[round]; ok {
+		f(edits)
+	}
+}
+
+// pingMachine: node 0 sends a ping to node 1 every round; node 1
+// counts what arrives. Everyone halts after the given round.
+type pingMachine struct {
+	got    int
+	rounds int
+}
+
+func (m *pingMachine) Init(*Context) {}
+
+func (m *pingMachine) Send(ctx *Context) {
+	if ctx.ID() == 0 {
+		ctx.Send(1, "ping")
+	}
+}
+
+func (m *pingMachine) Receive(ctx *Context, inbox []Message) {
+	m.got += len(inbox)
+	if ctx.Round() >= m.rounds {
+		ctx.Halt()
+	}
+}
+
+func TestEnvironmentCutLosesMessages(t *testing.T) {
+	t.Parallel()
+	machines := map[graph.ID]*pingMachine{}
+	factory := func(id graph.ID, env Env) Machine {
+		m := &pingMachine{rounds: 5}
+		machines[id] = m
+		return m
+	}
+	env := &scriptEnv{steps: map[int]func(*EnvEdits){
+		2: func(e *EnvEdits) { e.Deactivate = append(e.Deactivate, graph.NewEdge(0, 1)) },
+	}}
+	res, err := Run(graph.Ring(3), factory, WithEnvironment(env))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The cut commits after round 2, so pings land in rounds 1-2 and
+	// are silently lost (not a run error) in rounds 3-5.
+	if machines[1].got != 2 {
+		t.Fatalf("node 1 received %d pings, want 2", machines[1].got)
+	}
+	if res.Metrics.EnvDeactivations != 1 {
+		t.Fatalf("EnvDeactivations = %d, want 1", res.Metrics.EnvDeactivations)
+	}
+}
+
+// degreeProbe records the node's degree at the start of each Send
+// phase.
+type degreeProbe struct {
+	degrees []int
+	rounds  int
+}
+
+func (m *degreeProbe) Init(*Context) {}
+
+func (m *degreeProbe) Send(ctx *Context) { m.degrees = append(m.degrees, ctx.Degree()) }
+
+func (m *degreeProbe) Receive(ctx *Context, inbox []Message) {
+	if ctx.Round() >= m.rounds {
+		ctx.Halt()
+	}
+}
+
+func TestEnvironmentActivationVisibleNextRound(t *testing.T) {
+	t.Parallel()
+	machines := map[graph.ID]*degreeProbe{}
+	factory := func(id graph.ID, env Env) Machine {
+		m := &degreeProbe{rounds: 3}
+		machines[id] = m
+		return m
+	}
+	env := &scriptEnv{steps: map[int]func(*EnvEdits){
+		1: func(e *EnvEdits) { e.Activate = append(e.Activate, graph.NewEdge(0, 2)) },
+	}}
+	res, err := Run(graph.Line(3), factory, WithEnvironment(env))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Node 0 starts with degree 1; the env edge {0,2} commits after
+	// round 1 and is visible from round 2's Send phase on.
+	want := []int{1, 2, 2}
+	for i, w := range want {
+		if machines[0].degrees[i] != w {
+			t.Fatalf("node 0 degrees = %v, want %v", machines[0].degrees, want)
+		}
+	}
+	if res.Metrics.EnvActivations != 1 {
+		t.Fatalf("EnvActivations = %d, want 1", res.Metrics.EnvActivations)
+	}
+}
+
+// chattyCounter broadcasts every round and counts receipts; inits
+// counts how many times Init ran (distinguishes sleep from reboot).
+type chattyCounter struct {
+	got    int
+	inits  int
+	rounds int
+}
+
+func (m *chattyCounter) Init(*Context) { m.inits++ }
+
+func (m *chattyCounter) Send(ctx *Context) { ctx.Broadcast(1) }
+
+func (m *chattyCounter) Receive(ctx *Context, inbox []Message) {
+	m.got += len(inbox)
+	if ctx.Round() >= m.rounds {
+		ctx.Halt()
+	}
+}
+
+func runCrashRestart(t *testing.T, reboot bool) map[graph.ID]*chattyCounter {
+	t.Helper()
+	machines := map[graph.ID]*chattyCounter{}
+	factory := func(id graph.ID, env Env) Machine {
+		m := &chattyCounter{rounds: 8}
+		machines[id] = m
+		return m
+	}
+	env := &scriptEnv{steps: map[int]func(*EnvEdits){
+		2: func(e *EnvEdits) { e.Crash = append(e.Crash, 2) },
+		4: func(e *EnvEdits) {
+			e.Restart = append(e.Restart, 2)
+			e.Reboot = reboot
+		},
+	}}
+	if _, err := Run(graph.Ring(3), factory, WithEnvironment(env)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return machines
+}
+
+func TestEnvironmentCrashSilencesNode(t *testing.T) {
+	t.Parallel()
+	machines := runCrashRestart(t, false)
+	// Node 2 is down for rounds 3-4: it neither sends nor receives, and
+	// messages addressed to it are dropped. Up rounds 1,2,5,6,7,8 give
+	// it 2 messages each.
+	if machines[2].got != 12 {
+		t.Fatalf("crashed node received %d, want 12", machines[2].got)
+	}
+	// Node 0 hears node 1 all 8 rounds and node 2 only in its 6 up
+	// rounds.
+	if machines[0].got != 14 {
+		t.Fatalf("node 0 received %d, want 14", machines[0].got)
+	}
+}
+
+func TestEnvironmentSleepPreservesState(t *testing.T) {
+	t.Parallel()
+	machines := runCrashRestart(t, false)
+	// Sleep restart: same machine resumes, Init ran once.
+	if machines[2].inits != 1 {
+		t.Fatalf("sleep restart: inits = %d, want 1", machines[2].inits)
+	}
+	if machines[2].got == 0 {
+		t.Fatalf("sleep restart: pre-crash state lost")
+	}
+}
+
+func TestEnvironmentRebootResetsState(t *testing.T) {
+	t.Parallel()
+	machines := runCrashRestart(t, true)
+	// Reboot restart: the factory built a fresh machine for slot 2, so
+	// the map entry was overwritten by the reboot-time instance, which
+	// only saw rounds 5-8 (2 messages each) and one Init.
+	if machines[2].inits != 1 || machines[2].got != 8 {
+		t.Fatalf("reboot restart: inits = %d got = %d, want 1 and 8", machines[2].inits, machines[2].got)
+	}
+}
+
+// panicMachine panics in Send at the trigger round.
+type panicMachine struct {
+	trigger int
+	rounds  int
+}
+
+func (m *panicMachine) Init(*Context) {}
+
+func (m *panicMachine) Send(ctx *Context) {
+	if ctx.ID() == 1 && ctx.Round() == m.trigger {
+		panic("invariant broken")
+	}
+}
+
+func (m *panicMachine) Receive(ctx *Context, inbox []Message) {
+	if ctx.Round() >= m.rounds {
+		ctx.Halt()
+	}
+}
+
+func TestEnvironmentContainsMachinePanic(t *testing.T) {
+	t.Parallel()
+	factory := func(id graph.ID, env Env) Machine {
+		return &panicMachine{trigger: 3, rounds: 6}
+	}
+	env := &scriptEnv{steps: map[int]func(*EnvEdits){}}
+	res, err := Run(graph.Ring(3), factory, WithEnvironment(env))
+	if err == nil || !strings.Contains(err.Error(), "panicked under environment perturbation") {
+		t.Fatalf("panic not converted to run error: %v", err)
+	}
+	if res == nil {
+		t.Fatalf("result must remain usable on contained panic")
+	}
+	// Without an environment the strict path stays defer-free and the
+	// panic propagates — the model contract, not a robustness run.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("strict run should propagate machine panics")
+		}
+	}()
+	Run(graph.Ring(3), factory) //nolint:errcheck // panics before returning
+}

@@ -121,6 +121,51 @@ type StartEvent struct {
 	Edges []int32
 }
 
+// EnvEdits is one round boundary's batch of environment effects,
+// filled by Environment.Perturb. Edge lists need not be canonical or
+// deduplicated (temporal.History.ApplyEnvironment normalizes them);
+// Crash/Restart name node slots. Restarts are processed before
+// crashes, and Reboot selects the restart semantics for this boundary:
+// true rebuilds each restarted machine from the factory and re-runs
+// Init ("reboot"), false resumes it with its state intact ("sleep").
+// The struct is engine scratch, reset before every Perturb call —
+// implementations append and must not retain the slices.
+type EnvEdits struct {
+	Activate   []graph.Edge
+	Deactivate []graph.Edge
+	Crash      []int32
+	Restart    []int32
+	Reboot     bool
+}
+
+// Reset empties the edit lists for reuse, keeping capacity.
+func (e *EnvEdits) Reset() {
+	e.Activate = e.Activate[:0]
+	e.Deactivate = e.Deactivate[:0]
+	e.Crash = e.Crash[:0]
+	e.Restart = e.Restart[:0]
+	e.Reboot = false
+}
+
+// Environment is an adversarial or passively-dynamic underlay: a
+// perturbation source the engine consults once per round, at the
+// boundary after the algorithm's intents committed and before the
+// next Send phase. Implementations must be deterministic functions of
+// their own seeded state and the History they are shown — the engine
+// calls Perturb from the round driver goroutine only, in round order,
+// so executions stay byte-identical across worker counts.
+// internal/dynamics provides the seeded schedule implementations.
+type Environment interface {
+	// Begin binds the environment to a run of n nodes; the engine
+	// calls it from Reset, before any Perturb.
+	Begin(n int)
+	// Perturb appends this boundary's effects to edits. round is the
+	// round that just completed (1-based). hist exposes the post-round
+	// snapshot read-only; implementations must not call its mutating
+	// methods.
+	Perturb(round int, hist *temporal.History, edits *EnvEdits)
+}
+
 type config struct {
 	maxRounds    int
 	parallelism  int
@@ -132,6 +177,7 @@ type config struct {
 	done         <-chan struct{}
 	observer     func(RunSummary)
 	recycle      string
+	env          Environment
 }
 
 // Option configures Run.
@@ -174,6 +220,24 @@ func WithStartHook(fn func(StartEvent)) Option {
 // round loop stays untouched.
 func WithDeltaHook(fn func(temporal.RoundDelta)) Option {
 	return func(c *config) { c.deltaHooks = append(c.deltaHooks, fn) }
+}
+
+// WithEnvironment attaches an adversarial/passively-dynamic underlay
+// to the run: after every round's intents commit, env.Perturb may flip
+// edges (injected into the History as a distinct, separately-tagged
+// delta source) and crash or restart nodes. A crashed slot's machine
+// is not stepped, its outgoing messages are suppressed and messages
+// addressed to it are dropped, until its restart boundary.
+//
+// Attaching an environment also relaxes two model rules that assume
+// the algorithm alone edits edges: a message sent over an edge the
+// environment has since cut is lost (not a non-neighbor-send error),
+// and an activation whose distance-2 precondition the environment
+// invalidated is void (not a Violation) — the algorithm did nothing
+// wrong in either case. With no environment attached the strict
+// semantics and the zero-allocation round loop are unchanged.
+func WithEnvironment(env Environment) Option {
+	return func(c *config) { c.env = env }
 }
 
 // WithTrace records full per-round edge lists in the History.

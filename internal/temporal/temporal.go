@@ -45,6 +45,8 @@ type RoundStats struct {
 }
 
 // Metrics aggregates the paper's cost measures over a whole execution.
+// The Env* counters account environment (adversary) edits separately:
+// they never enter the algorithm's cost measures above.
 type Metrics struct {
 	Rounds              int // number of completed rounds
 	LastActivityRound   int // last round with any edge activation/deactivation
@@ -55,6 +57,8 @@ type Metrics struct {
 	MaxActiveEdges      int // max_i |E(i)| (includes original edges)
 	FinalActiveEdges    int
 	FinalActivatedAlive int
+	EnvActivations      int // edges the environment switched on
+	EnvDeactivations    int // edges the environment cut
 }
 
 // History is the evolving temporal graph of one execution.
@@ -84,6 +88,22 @@ type History struct {
 	trace      bool
 	traceAct   [][]graph.Edge
 	traceDeact [][]graph.Edge
+
+	// Environment (adversary) edit state: a second delta source beside
+	// the algorithm's intents, applied at round boundaries through
+	// ApplyEnvironment and accounted apart from the paper's cost
+	// measures. lenient relaxes the distance-2 rule for algorithm
+	// activations (a stale activation becomes a no-op instead of a
+	// violation): under an adversarial underlay the precondition a node
+	// observed can vanish before its intent commits, and that is the
+	// environment's doing, not the algorithm's.
+	lenient          bool
+	envActivations   int
+	envDeactivations int
+	lastEnvActs      []graph.Edge
+	lastEnvDeacts    []graph.Edge
+	traceEnvAct      [][]graph.Edge
+	traceEnvDeact    [][]graph.Edge
 
 	// Scratch buffers reused across Apply calls so the round loop does
 	// not allocate. Apply is called from exactly one goroutine (the
@@ -118,10 +138,17 @@ type History struct {
 // slot-pair edge list can replay deltas round by round and reconstruct
 // D(i) exactly — trace order is canonical and Apply is deterministic,
 // which is what makes the per-round diff a sufficient wire format.
+//
+// EnvActivate/EnvDeactivate carry the environment's edits of the same
+// boundary, tagged apart from the algorithm's intents; they are empty
+// whenever no environment is attached. Replay applies the four lists
+// in field order.
 type RoundDelta struct {
-	Round      int
-	Activate   []int32
-	Deactivate []int32
+	Round         int
+	Activate      []int32
+	Deactivate    []int32
+	EnvActivate   []int32
+	EnvDeactivate []int32
 }
 
 // IntentBatch is one caller's (typically one engine worker's) edge
@@ -188,7 +215,21 @@ func (h *History) Reset(gs *graph.Graph) {
 	h.traceDeact = h.traceDeact[:0]
 	h.lastActs = nil
 	h.lastDeacts = nil
+	h.lenient = false
+	h.envActivations = 0
+	h.envDeactivations = 0
+	h.lastEnvActs = nil
+	h.lastEnvDeacts = nil
+	h.traceEnvAct = h.traceEnvAct[:0]
+	h.traceEnvDeact = h.traceEnvDeact[:0]
 }
+
+// SetLenientActivation relaxes the distance-2 rule for algorithm
+// activations: an activation whose common-neighbor precondition does
+// not hold is silently void instead of a Violation. The engine enables
+// this exactly when an environment is attached (see the field comment
+// on lenient); self-loop activations remain violations either way.
+func (h *History) SetLenientActivation(on bool) { h.lenient = on }
 
 // EnableTrace records the full per-round activation/deactivation edge
 // lists (needed by figure-style experiments). Off by default to keep
@@ -399,6 +440,9 @@ func (h *History) validateShard(k int) {
 			continue // no-op per the model
 		}
 		if !h.current.HaveCommonNeighbor(ce.A, ce.B) {
+			if h.lenient {
+				continue // void: the underlay moved beneath the node
+			}
 			sh.violation = &Violation{
 				Round: h.round, Edge: e, Op: "activate",
 				Why: "no common active neighbor (distance-2 rule)",
@@ -544,6 +588,121 @@ func (h *History) AppendLastDelta(d *RoundDelta) {
 	d.Round = h.round - 1
 	d.Activate = appendSlotPairs(d.Activate[:0], h.current, h.lastActs)
 	d.Deactivate = appendSlotPairs(d.Deactivate[:0], h.current, h.lastDeacts)
+	d.EnvActivate = appendSlotPairs(d.EnvActivate[:0], h.current, h.lastEnvActs)
+	d.EnvDeactivate = appendSlotPairs(d.EnvDeactivate[:0], h.current, h.lastEnvDeacts)
+}
+
+// ApplyEnvironment commits environment (adversary) edits at the
+// boundary after the most recently applied round: E(i+1) gains the
+// activations and loses the deactivations, with no distance-2
+// validation — the environment is the underlay, not a node, and is not
+// bound by the model's local rules. Requests are canonicalized,
+// deduplicated and filtered against the current snapshot (activating
+// an active edge or deactivating an inactive one is a no-op), so the
+// committed lists are in ascending canonical order like the
+// algorithm's — which keeps environment-tagged traces and deltas
+// deterministic. Self-loops and unknown endpoints are errors: the
+// environment edits the underlay, it cannot grow the node set.
+//
+// Environment edits never enter the paper's cost measures (the Env*
+// counters in Metrics account them separately), except that cutting an
+// edge the algorithm had activated removes it from the activated-alive
+// set — "algorithm-activated and still active" stays an invariant of
+// that measure. The returned RoundStats are the completed round's,
+// with ActiveEdges/ActivatedAlive updated to the post-environment
+// snapshot (the per-round log entry is patched the same way).
+//
+// Callers attaching an environment invoke ApplyEnvironment once per
+// round, after Apply/ApplyBatches, with possibly empty lists: the
+// last-delta export (AppendLastDelta) and the per-round environment
+// trace stay round-aligned that way.
+func (h *History) ApplyEnvironment(activate, deactivate []graph.Edge) (RoundStats, error) {
+	if len(h.perRound) == 0 {
+		return RoundStats{}, fmt.Errorf("temporal: ApplyEnvironment before any applied round")
+	}
+	round := h.round - 1
+	acts := h.lastEnvActs[:0]
+	for _, e := range activate {
+		if e.A == e.B {
+			return RoundStats{}, fmt.Errorf("temporal: round %d: environment activation of self-loop %v", round, e)
+		}
+		ce := graph.NewEdge(e.A, e.B)
+		if !h.current.HasNode(ce.A) || !h.current.HasNode(ce.B) {
+			return RoundStats{}, fmt.Errorf("temporal: round %d: environment activation of %v: unknown endpoint", round, ce)
+		}
+		if h.current.HasEdge(ce.A, ce.B) {
+			continue
+		}
+		acts = append(acts, ce)
+	}
+	sortEdges(acts)
+	acts = dedupeEdges(acts)
+	deacts := h.lastEnvDeacts[:0]
+	for _, e := range deactivate {
+		if e.A == e.B {
+			return RoundStats{}, fmt.Errorf("temporal: round %d: environment deactivation of self-loop %v", round, e)
+		}
+		ce := graph.NewEdge(e.A, e.B)
+		if !h.current.HasEdge(ce.A, ce.B) {
+			continue
+		}
+		deacts = append(deacts, ce)
+	}
+	sortEdges(deacts)
+	deacts = dedupeEdges(deacts)
+	// Both lists were filtered against the same pre-edit snapshot, so
+	// no edge survives in both: the commits below cannot conflict.
+	for _, e := range acts {
+		h.current.MustAddEdge(e.A, e.B)
+		h.envActivations++
+	}
+	for _, e := range deacts {
+		h.current.RemoveEdge(e.A, e.B)
+		h.envDeactivations++
+		if _, ok := h.activatedAlive[e]; ok {
+			delete(h.activatedAlive, e)
+			h.bumpActivatedDeg(e.A, -1)
+			h.bumpActivatedDeg(e.B, -1)
+		}
+	}
+	if m := h.current.NumEdges(); m > h.maxActiveEdges {
+		h.maxActiveEdges = m
+	}
+	h.lastEnvActs, h.lastEnvDeacts = acts, deacts
+	st := &h.perRound[len(h.perRound)-1]
+	st.ActiveEdges = h.current.NumEdges()
+	st.ActivatedAlive = len(h.activatedAlive)
+	if h.trace {
+		for len(h.traceEnvAct) < round-1 {
+			h.traceEnvAct = append(h.traceEnvAct, nil)
+			h.traceEnvDeact = append(h.traceEnvDeact, nil)
+		}
+		h.traceEnvAct = append(h.traceEnvAct, append([]graph.Edge(nil), acts...))
+		h.traceEnvDeact = append(h.traceEnvDeact, append([]graph.Edge(nil), deacts...))
+	}
+	return *st, nil
+}
+
+// AppendActivatedAlive appends the activated-alive edge set
+// (D(i) \ D(1)) in ascending canonical order to dst[:0] and returns
+// it. The deterministic ordering is what lets adversary schedules rank
+// and cut the algorithm's own construction reproducibly.
+func (h *History) AppendActivatedAlive(dst []graph.Edge) []graph.Edge {
+	dst = dst[:0]
+	for e := range h.activatedAlive {
+		dst = append(dst, e)
+	}
+	sortEdges(dst)
+	return dst
+}
+
+// ActivatedDegreeAtSlot returns the node's degree in D(i) \ D(1) — how
+// many algorithm-activated edges it currently carries.
+func (h *History) ActivatedDegreeAtSlot(slot int) int {
+	if slot < 0 || slot >= len(h.activatedDeg) {
+		return 0
+	}
+	return h.activatedDeg[slot]
 }
 
 // AppendInitialEdges appends the slot-pair rendering of E(1) — every
@@ -671,6 +830,8 @@ func (h *History) Metrics() Metrics {
 		MaxActiveEdges:      h.maxActiveEdges,
 		FinalActiveEdges:    h.current.NumEdges(),
 		FinalActivatedAlive: len(h.activatedAlive),
+		EnvActivations:      h.envActivations,
+		EnvDeactivations:    h.envDeactivations,
 	}
 }
 
@@ -689,6 +850,21 @@ func (h *History) TraceRound(i int) (act, deact []graph.Edge, ok bool) {
 		return nil, nil, false
 	}
 	return h.traceAct[i-1], h.traceDeact[i-1], true
+}
+
+// TraceEnvRound returns the recorded environment activation and
+// deactivation lists for round i (1-based), tagged apart from the
+// algorithm's TraceRound lists. Rounds before the first environment
+// edit (or executions without an environment) report empty lists; ok
+// is false only when tracing was off or i is out of range.
+func (h *History) TraceEnvRound(i int) (act, deact []graph.Edge, ok bool) {
+	if !h.trace || i < 1 || i > len(h.traceAct) {
+		return nil, nil, false
+	}
+	if i > len(h.traceEnvAct) {
+		return nil, nil, true
+	}
+	return h.traceEnvAct[i-1], h.traceEnvDeact[i-1], true
 }
 
 func sortIDs(ids []graph.ID) {
